@@ -1,0 +1,29 @@
+"""Benchmark for the beyond-the-paper ablation sweep.
+
+Regenerates the oracle ceiling, confidence-policy, and encoder
+comparisons on a representative workload subset.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments import ablations
+
+SIZE = "small"
+WORKLOADS = ["em3d", "tomcatv", "ocean", "moldyn"]
+
+
+def test_ablations(benchmark):
+    result = benchmark.pedantic(
+        ablations.run,
+        kwargs={"size": SIZE, "workloads": WORKLOADS},
+        rounds=1,
+        iterations=1,
+    )
+    save_rendered("ablations", result.render())
+    for workload in WORKLOADS:
+        by = result.reports[workload]
+        assert by["oracle"].predicted_fraction >= \
+            by["ltp"].predicted_fraction - 1e-9
+        # retiring failed signatures keeps mispredictions at or below
+        # the plain counter's
+        assert by["ltp"].mispredicted_fraction <= \
+            by["no-poison"].mispredicted_fraction + 1e-9

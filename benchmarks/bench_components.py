@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the simulation substrates.
+
+These measure the throughput of the hot paths (predictor updates,
+coherence-engine accesses, scheduler interleaving, timing-engine
+events) so regressions in the library's own performance are visible
+alongside the experiment regenerations.
+"""
+
+from repro.core import GlobalLTP, LastPCPredictor, NullPolicy, PerBlockLTP
+from repro.protocol.coherence import CoherenceEngine
+from repro.sim import AccuracySimulator
+from repro.timing import SystemConfig, TimingSimulator
+from repro.trace.scheduler import interleave
+from repro.workloads import get_workload
+
+WORKLOAD = get_workload("em3d", "small")
+
+
+def _programs():
+    return WORKLOAD.build()
+
+
+def test_scheduler_throughput(benchmark):
+    ps = _programs()
+
+    def drain():
+        n = 0
+        for _ in interleave(ps):
+            n += 1
+        return n
+
+    events = benchmark(drain)
+    assert events > 0
+
+
+def test_coherence_engine_throughput(benchmark):
+    ps = _programs()
+    from repro.trace.events import MemoryAccess
+
+    stream = [e for e in interleave(ps) if isinstance(e, MemoryAccess)]
+
+    def run():
+        engine = CoherenceEngine(ps.num_nodes)
+        for ev in stream:
+            engine.access(ev.node, ev.pc, ev.address, ev.is_write)
+        return engine.external_invalidations
+
+    invals = benchmark(run)
+    assert invals > 0
+
+
+def _accuracy_run(factory):
+    ps = _programs()
+    return AccuracySimulator(factory).run(ps)
+
+
+def test_per_block_ltp_throughput(benchmark):
+    rep = benchmark.pedantic(
+        _accuracy_run, args=(lambda n: PerBlockLTP(),),
+        rounds=2, iterations=1,
+    )
+    assert rep.predicted > 0
+
+
+def test_global_ltp_throughput(benchmark):
+    rep = benchmark.pedantic(
+        _accuracy_run, args=(lambda n: GlobalLTP(),),
+        rounds=2, iterations=1,
+    )
+    assert rep.accesses > 0
+
+
+def test_last_pc_throughput(benchmark):
+    rep = benchmark.pedantic(
+        _accuracy_run, args=(lambda n: LastPCPredictor(),),
+        rounds=2, iterations=1,
+    )
+    assert rep.accesses > 0
+
+
+def test_timing_engine_throughput(benchmark):
+    ps = _programs()
+
+    def run():
+        return TimingSimulator(
+            lambda n: NullPolicy(), SystemConfig(num_nodes=ps.num_nodes)
+        ).run(ps)
+
+    rep = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert rep.execution_cycles > 0

@@ -1,0 +1,89 @@
+"""Benchmarks for the beyond-paper extension experiments.
+
+* forwarding — Section 2's "in the limit" claim: SI + consumer
+  prediction should multiply the static-sharing speedups.
+* protocol variants — downgrade-on-read shrinks the invalidation pool.
+* si-delay — the timeliness-sensitivity sweep.
+* traffic — invalidation-message elimination.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments import (
+    forwarding,
+    hybrid,
+    protocol_variants,
+    si_delay,
+    traffic,
+)
+
+SIZE = "small"
+SUBSET = ["em3d", "tomcatv", "moldyn"]
+
+
+def test_forwarding(benchmark):
+    result = benchmark.pedantic(
+        forwarding.run,
+        kwargs={"size": SIZE, "workloads": SUBSET},
+        rounds=1, iterations=1,
+    )
+    save_rendered("forwarding", result.render())
+    # static sharing: forwarding multiplies the LTP gain
+    assert result.speedup("em3d", "ltp+forward") > \
+        result.speedup("em3d", "ltp")
+    stats = result.reports["em3d"]["ltp+forward"].forwarding
+    benchmark.extra_info["em3d_usefulness"] = round(stats.usefulness, 4)
+    assert stats.usefulness > 0.8
+
+
+def test_protocol_variants(benchmark):
+    result = benchmark.pedantic(
+        protocol_variants.run,
+        kwargs={"size": SIZE, "workloads": SUBSET},
+        rounds=1, iterations=1,
+    )
+    save_rendered("variants", result.render())
+    for workload, row in result.rows.items():
+        # downgrade keeps producers' copies alive: fewer invalidations
+        assert row.invals_downgrade <= row.invals_invalidate, workload
+
+
+def test_si_delay(benchmark):
+    result = benchmark.pedantic(
+        si_delay.run,
+        kwargs={"size": SIZE, "workloads": ["em3d", "tomcatv"]},
+        rounds=1, iterations=1,
+    )
+    save_rendered("si_delay", result.render())
+    for workload in result.runs:
+        assert result.speedup(workload, 8000) <= \
+            result.speedup(workload, 0) + 1e-9, workload
+
+
+def test_hybrid(benchmark):
+    result = benchmark.pedantic(
+        hybrid.run,
+        kwargs={"size": SIZE, "workloads": ["barnes", "em3d", "dsmc"]},
+        rounds=1, iterations=1,
+    )
+    save_rendered("hybrid", result.render())
+    for workload, by in result.reports.items():
+        # the fallback must never cost accuracy vs plain LTP
+        assert by["hybrid"].predicted_fraction >= \
+            by["ltp"].predicted_fraction - 0.02, workload
+    # and it must improve the one workload where DSI wins
+    barnes = result.reports["barnes"]
+    assert barnes["hybrid"].predicted_fraction > \
+        barnes["ltp"].predicted_fraction + 0.05
+
+
+def test_traffic(benchmark):
+    result = benchmark.pedantic(
+        traffic.run,
+        kwargs={"size": SIZE, "workloads": SUBSET},
+        rounds=1, iterations=1,
+    )
+    save_rendered("traffic", result.render())
+    benchmark.extra_info["em3d_ltp_inval_reduction"] = round(
+        result.invalidation_reduction("em3d", "ltp"), 4
+    )
+    assert result.invalidation_reduction("em3d", "ltp") > 0.5

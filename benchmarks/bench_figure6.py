@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 6 (prediction accuracy, all policies).
+
+Paper reference: DSI 47% predicted / 14% mispredicted, Last-PC 41%/2%,
+per-block LTP 79%/3% on average across the nine applications.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments import figure6
+
+SIZE = "small"
+
+
+def test_figure6(benchmark):
+    result = benchmark.pedantic(
+        figure6.run, kwargs={"size": SIZE}, rounds=1, iterations=1
+    )
+    save_rendered("figure6", result.render())
+    benchmark.extra_info["avg_predicted_ltp"] = round(
+        result.average("ltp"), 4
+    )
+    benchmark.extra_info["avg_predicted_dsi"] = round(
+        result.average("dsi"), 4
+    )
+    benchmark.extra_info["avg_predicted_last_pc"] = round(
+        result.average("last-pc"), 4
+    )
+    # shape assertions: the paper's ordering must reproduce
+    assert result.average("ltp") > result.average("dsi")
+    assert result.average("ltp") > result.average("last-pc")

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 7 (signature-width sensitivity).
+
+Paper reference: accuracy flat from 30 down to ~13 bits, collapsing by
+6 bits except in short-trace applications.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments import figure7
+
+SIZE = "small"
+
+
+def test_figure7(benchmark):
+    result = benchmark.pedantic(
+        figure7.run, kwargs={"size": SIZE}, rounds=1, iterations=1
+    )
+    save_rendered("figure7", result.render())
+
+    def avg(width):
+        per_app = [result.reports[w][width] for w in result.reports]
+        return sum(r.predicted_fraction for r in per_app) / len(per_app)
+
+    benchmark.extra_info["avg_30b"] = round(avg(30), 4)
+    benchmark.extra_info["avg_13b"] = round(avg(13), 4)
+    benchmark.extra_info["avg_6b"] = round(avg(6), 4)
+    # 13 bits must be close to the base, 6 bits must lose accuracy
+    assert avg(13) > avg(30) - 0.05
+    assert avg(6) < avg(13) - 0.05

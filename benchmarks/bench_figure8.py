@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 8 (per-block vs global tables).
+
+Paper reference: the global organization drops the average from 79% to
+58% due to cross-block subtrace aliasing, despite its wider (30-bit)
+signatures.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments import figure8
+
+SIZE = "small"
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(
+        figure8.run, kwargs={"size": SIZE}, rounds=1, iterations=1
+    )
+    save_rendered("figure8", result.render())
+    n = len(result.per_block)
+    per_block_avg = sum(
+        r.predicted_fraction for r in result.per_block.values()
+    ) / n
+    global_avg = sum(
+        r.predicted_fraction for r in result.global_table.values()
+    ) / n
+    benchmark.extra_info["per_block_avg"] = round(per_block_avg, 4)
+    benchmark.extra_info["global_avg"] = round(global_avg, 4)
+    assert global_avg < per_block_avg

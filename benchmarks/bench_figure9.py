@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 9 (execution-time speedups).
+
+Paper reference: DSI averages 1.03x (slowing four applications); LTP
+averages 1.11x, best 1.30x, slowing only barnes and by <1%.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.analysis.speedup import geomean
+from repro.experiments import figure9
+
+SIZE = "small"
+
+_cache = {}
+
+
+def run_and_cache():
+    if "result" not in _cache:
+        _cache["result"] = figure9.run(size=SIZE)
+    return _cache["result"]
+
+
+def test_figure9(benchmark):
+    result = benchmark.pedantic(run_and_cache, rounds=1, iterations=1)
+    save_rendered("figure9", result.render())
+    ltp = geomean(result.speedup(w, "ltp") for w in result.reports)
+    dsi = geomean(result.speedup(w, "dsi") for w in result.reports)
+    benchmark.extra_info["ltp_geomean_speedup"] = round(ltp, 4)
+    benchmark.extra_info["dsi_geomean_speedup"] = round(dsi, 4)
+    # shape: LTP ahead of DSI overall; LTP never tanks an application
+    assert ltp > dsi
+    assert all(
+        result.speedup(w, "ltp") > 0.93 for w in result.reports
+    )

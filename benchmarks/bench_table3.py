@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table 3 (signature storage cost).
+
+Paper reference: per-block tables average 2.8 entries / ~7 bytes per
+actively shared block; the global table averages 0.8 entries / ~6
+bytes. Our synthetic traces carry fewer distinct signatures per block,
+so the absolute entry counts sit lower; the orderings (global entries <
+per-block entries; both overheads within a few bytes) are the
+reproduced shape.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments import table3
+
+SIZE = "small"
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(
+        table3.run, kwargs={"size": SIZE}, rounds=1, iterations=1
+    )
+    save_rendered("table3", result.render())
+    n = len(result.storage)
+    per_block_ent = sum(
+        s[0].entries_per_block for s in result.storage.values()
+    ) / n
+    global_ent = sum(
+        s[1].entries_per_block for s in result.storage.values()
+    ) / n
+    benchmark.extra_info["per_block_entries"] = round(per_block_ent, 3)
+    benchmark.extra_info["global_entries"] = round(global_ent, 3)
+    # the global table shares signatures across blocks
+    assert global_ent < per_block_ent
+    # overheads land in the paper's bytes-per-block regime (Table 3
+    # tops out at 16 bytes for dsmc; raytrace's contention-varying lock
+    # traces give our global table a slightly fatter tail)
+    for per_block, global_tab in result.storage.values():
+        assert per_block.overhead_bytes_per_block < 16
+        assert global_tab.overhead_bytes_per_block < 20

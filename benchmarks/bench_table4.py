@@ -1,0 +1,43 @@
+"""Benchmark regenerating Table 4 (queueing, service, timeliness).
+
+Paper reference: base queueing 1-13 cycles at 75-126-cycle service
+times; DSI's bursts push queueing up by orders of magnitude with only
+79% average timeliness; LTP stays near base queueing with >90%
+timeliness.
+
+Reuses the Figure 9 timing runs when they are cached in-process (the
+two tables come from the same simulations in the paper as well).
+"""
+
+from benchmarks.bench_figure9 import run_and_cache
+from benchmarks.conftest import save_rendered
+from repro.experiments import table4
+
+SIZE = "small"
+
+
+def test_table4(benchmark):
+    fig9 = run_and_cache()
+    result = benchmark.pedantic(
+        table4.run,
+        kwargs={"size": SIZE, "reuse": fig9.reports},
+        rounds=1,
+        iterations=1,
+    )
+    save_rendered("table4", result.render())
+    reports = result.reports
+    ltp_timeliness = [
+        r["ltp"].selfinval.timeliness
+        for r in reports.values()
+        if r["ltp"].selfinval.correct
+    ]
+    benchmark.extra_info["ltp_mean_timeliness"] = round(
+        sum(ltp_timeliness) / len(ltp_timeliness), 4
+    )
+    # LTP self-invalidations overwhelmingly arrive before the next
+    # request (paper: >90% on average)
+    assert sum(ltp_timeliness) / len(ltp_timeliness) > 0.85
+    # DSI's em3d burst inflates queueing over base by a large factor
+    em3d = reports["em3d"]
+    assert em3d["dsi"].directory.mean_queueing > \
+        5 * em3d["base"].directory.mean_queueing

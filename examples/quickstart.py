@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: train a Last-Touch Predictor on a paper benchmark.
+
+Builds the tomcatv workload (the stencil whose packed blocks defeat
+single-PC prediction), runs it through the functional coherence
+simulator under three self-invalidation policies, and prints the
+Figure-6 style classification for each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LastPCPredictor, PerBlockLTP
+from repro.dsi import DSIPolicy
+from repro.sim import AccuracySimulator
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("tomcatv", size="small")
+    programs = workload.build()
+    print(
+        f"workload: {programs.name}, {programs.num_nodes} nodes, "
+        f"{programs.total_steps():,} program steps\n"
+    )
+
+    policies = {
+        "DSI (versioning + sync bursts)": lambda node: DSIPolicy(),
+        "Last-PC (single instruction)": lambda node: LastPCPredictor(),
+        "LTP (trace signatures)": lambda node: PerBlockLTP(),
+    }
+    for label, factory in policies.items():
+        report = AccuracySimulator(factory).run(programs)
+        print(f"{label:<32}"
+              f" predicted {report.predicted_fraction:6.1%}"
+              f"  not predicted {report.not_predicted_fraction:6.1%}"
+              f"  mispredicted {report.mispredicted_fraction:6.1%}")
+
+    print(
+        "\nThe trace-based LTP learns that the stencil loads touch each "
+        "packed block exactly twice; the single-PC predictor fires at "
+        "the first touch, is verified premature, and retires."
+    )
+
+
+if __name__ == "__main__":
+    main()

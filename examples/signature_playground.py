@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Exploring trace signatures: widths, aliasing, and organizations.
+
+Three short demonstrations:
+
+1. truncated addition keeps repetition counts — the {PCi,PCj} vs
+   {PCi,PCj,PCj} traces of Figure 3 stay distinct;
+2. subtrace aliasing — Section 3.1's red/black example, where one trace
+   is a complete prefix of another and the *shorter* one fires
+   prematurely inside the longer;
+3. the width sweep of Figure 7 on one workload: how few bits truncated
+   addition can get away with.
+
+Run:  python examples/signature_playground.py
+"""
+
+from repro.core import (
+    GlobalLTP,
+    PerBlockLTP,
+    TruncatedAddEncoder,
+)
+from repro.sim import AccuracySimulator
+from repro.workloads import get_workload
+
+
+def demo_repetition_counts() -> None:
+    enc = TruncatedAddEncoder(13)
+    pci, pcj = 0x11F4, 0x2A08
+    once = enc.encode_trace([pci, pcj])
+    twice = enc.encode_trace([pci, pcj, pcj])
+    print("1. repetition counts survive encoding:")
+    print(f"   sig({{PCi,PCj}})     = {once:#06x}")
+    print(f"   sig({{PCi,PCj,PCj}}) = {twice:#06x}  (distinct)\n")
+
+
+def demo_subtrace_aliasing() -> None:
+    enc = TruncatedAddEncoder(13)
+    pci, pcj, pck = 0x11F4, 0x2A08, 0x0B3C
+    short = [pci, pcj]
+    long = [pci, pcj, pck]
+    running = enc.init(long[0])
+    running = enc.update(running, long[1])
+    print("2. subtrace aliasing (Section 3.1 red/black example):")
+    print(f"   after two touches of the long trace the running "
+          f"signature is {running:#06x},")
+    print(f"   identical to the complete short trace "
+          f"({enc.encode_trace(short):#06x}) -> premature fire.\n")
+
+
+def demo_width_sweep() -> None:
+    programs = get_workload("ocean", "small").build()
+    print("3. Figure 7 on ocean — LTP accuracy vs signature width:")
+    for bits in (30, 13, 11, 6):
+        rep = AccuracySimulator(
+            lambda node, b=bits: PerBlockLTP(TruncatedAddEncoder(b))
+        ).run(programs)
+        print(f"   {bits:>2}-bit: predicted {rep.predicted_fraction:6.1%} "
+              f"mispredicted {rep.mispredicted_fraction:5.1%}")
+    g = AccuracySimulator(
+        lambda node: GlobalLTP(TruncatedAddEncoder(30))
+    ).run(programs)
+    print(f"   global table (30-bit): predicted "
+          f"{g.predicted_fraction:6.1%} — cross-block aliasing at work")
+
+
+def main() -> None:
+    demo_repetition_counts()
+    demo_subtrace_aliasing()
+    demo_width_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Figure 9 in miniature: how timely self-invalidation buys speedup.
+
+Runs em3d (the paper's best case) on the discrete-event DSM timing
+model under the base protocol, DSI, and LTP, and prints execution
+cycles, directory queueing, and self-invalidation timeliness — the
+Table 4 quantities that explain the Figure 9 speedups.
+
+Run:  python examples/timing_speedup.py
+"""
+
+from repro.core import NullPolicy, PerBlockLTP
+from repro.dsi import DSIPolicy
+from repro.timing import TimingSimulator
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    programs = get_workload("em3d", size="small").build()
+    print(f"workload: {programs.name}, {programs.num_nodes} nodes\n")
+
+    runs = {}
+    for label, factory in [
+        ("base", lambda node: NullPolicy()),
+        ("dsi", lambda node: DSIPolicy()),
+        ("ltp", lambda node: PerBlockLTP()),
+    ]:
+        runs[label] = TimingSimulator(factory).run(programs)
+
+    base = runs["base"]
+    print(f"{'policy':<6} {'cycles':>14} {'speedup':>8} "
+          f"{'dir queueing':>13} {'timely SI':>10}")
+    for label, rep in runs.items():
+        print(
+            f"{label:<6} {rep.execution_cycles:>14,.0f} "
+            f"{rep.speedup_over(base):>8.3f} "
+            f"{rep.directory.mean_queueing:>13.1f} "
+            f"{rep.selfinval.timeliness:>10.1%}"
+        )
+
+    print(
+        "\nDSI is just as *accurate* as LTP on em3d (Figure 6), but its "
+        "barrier-triggered bursts pile up in the directory queues — the "
+        "paper's three-orders-of-magnitude queueing blowup — while "
+        "LTP's per-block firing spreads the writebacks across the "
+        "computation and reaches the directory before the consumers do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this reproduction targets is offline: pip cannot fetch
+the ``wheel`` package that PEP-517 editable installs require, so
+``pip install -e . --no-build-isolation`` falls back to this legacy
+``setup.py`` path (``setup.py develop``), which needs only setuptools.
+All package metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

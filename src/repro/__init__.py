@@ -1,0 +1,42 @@
+"""repro — reproduction of Lai & Falsafi, ISCA 2000.
+
+"Selective, Accurate, and Timely Self-Invalidation Using Last-Touch
+Prediction" proposed Last-Touch Predictors (LTPs): per-node two-level
+predictors that correlate the *trace* of instructions touching a shared
+memory block (from coherence miss to invalidation) with the block's last
+touch, enabling speculative self-invalidation in distributed shared
+memory.
+
+This package provides:
+
+* ``repro.core`` — the paper's contribution: trace signatures, per-block
+  (PAp) and global (PAg) LTPs, the Last-PC baseline, confidence counters,
+  and storage-overhead accounting.
+* ``repro.dsi`` — the Dynamic Self-Invalidation baseline (Lebeck & Wood,
+  ISCA 1995) with versioning candidate selection and sync-boundary
+  triggering.
+* ``repro.protocol`` — a full-map, write-invalidate directory coherence
+  protocol (functional model).
+* ``repro.timing`` — a discrete-event 32-node CC-NUMA timing model with a
+  pipelined directory engine, FIFO queueing, and lock/barrier support.
+* ``repro.workloads`` — nine synthetic workload generators mirroring the
+  paper's benchmarks (appbt, barnes, dsmc, em3d, moldyn, ocean, raytrace,
+  tomcatv, unstructured).
+* ``repro.sim`` / ``repro.analysis`` / ``repro.experiments`` — the
+  harnesses that regenerate every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro.sim import AccuracySimulator
+    from repro.core import PerBlockLTP
+    from repro.workloads import get_workload
+
+    workload = get_workload("tomcatv")
+    sim = AccuracySimulator.for_predictor(lambda node: PerBlockLTP())
+    report = sim.run(workload.build())
+    print(report.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

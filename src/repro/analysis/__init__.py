@@ -1,0 +1,19 @@
+"""Result aggregation, paper-style rendering, and trace analytics."""
+
+from repro.analysis.formatting import bar_segments, format_table
+from repro.analysis.accuracy import mean_fraction
+from repro.analysis.sharing import SharingPattern, census, classify_stream
+from repro.analysis.speedup import geomean
+from repro.analysis.traces import extract_traces, trace_digest
+
+__all__ = [
+    "SharingPattern",
+    "bar_segments",
+    "census",
+    "classify_stream",
+    "extract_traces",
+    "format_table",
+    "geomean",
+    "mean_fraction",
+    "trace_digest",
+]

@@ -1,0 +1,21 @@
+"""Accuracy aggregation helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sim.results import AccuracyReport
+
+
+def mean_fraction(
+    reports: Iterable[AccuracyReport],
+    selector: Callable[[AccuracyReport], float] = (
+        lambda r: r.predicted_fraction
+    ),
+) -> float:
+    """Unweighted mean of a per-report fraction — the paper's "average"
+    rows weight each application equally."""
+    reports = list(reports)
+    if not reports:
+        return 0.0
+    return sum(selector(r) for r in reports) / len(reports)

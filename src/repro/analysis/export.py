@@ -1,0 +1,103 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+Every experiment result renders ASCII for humans; downstream analysis
+(plots, regression tracking) wants rows. These helpers flatten the
+result objects into dict-rows and serialize them. Used by the CLI's
+``--csv`` / ``--json`` options.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.sim.results import AccuracyReport
+from repro.timing.stats import TimingReport
+
+
+def accuracy_rows(
+    reports: Dict[str, Dict[str, AccuracyReport]]
+) -> List[Dict[str, object]]:
+    """Flatten workload -> policy -> AccuracyReport mappings."""
+    rows: List[Dict[str, object]] = []
+    for workload, by_policy in reports.items():
+        for policy, rep in by_policy.items():
+            rows.append({
+                "workload": workload,
+                "policy": policy,
+                "invalidations": rep.total_invalidations,
+                "predicted": round(rep.predicted_fraction, 6),
+                "not_predicted": round(rep.not_predicted_fraction, 6),
+                "mispredicted": round(rep.mispredicted_fraction, 6),
+                "accesses": rep.accesses,
+                "coherence_misses": rep.coherence_misses,
+                "self_invalidations": rep.self_invalidations,
+            })
+    return rows
+
+
+def timing_rows(
+    reports: Dict[str, Dict[str, TimingReport]]
+) -> List[Dict[str, object]]:
+    """Flatten workload -> policy -> TimingReport mappings."""
+    rows: List[Dict[str, object]] = []
+    for workload, by_policy in reports.items():
+        base = by_policy.get("base")
+        for policy, rep in by_policy.items():
+            rows.append({
+                "workload": workload,
+                "policy": policy,
+                "execution_cycles": rep.execution_cycles,
+                "speedup": (
+                    round(rep.speedup_over(base), 6) if base else None
+                ),
+                "mean_queueing": round(rep.directory.mean_queueing, 3),
+                "mean_service": round(rep.directory.mean_service, 3),
+                "si_fired": rep.selfinval.fired,
+                "si_timeliness": round(rep.selfinval.timeliness, 6),
+                "external_invalidations": rep.external_invalidations,
+            })
+    return rows
+
+
+def rows_to_csv(rows: List[Dict[str, object]]) -> str:
+    if not rows:
+        return ""
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return out.getvalue()
+
+
+def rows_to_json(rows: List[Dict[str, object]]) -> str:
+    return json.dumps(rows, indent=2, sort_keys=True)
+
+
+def export_result(result) -> List[Dict[str, object]]:
+    """Flatten any experiment result that exposes accuracy or timing
+    report mappings; raises TypeError for unsupported shapes."""
+    reports = getattr(result, "reports", None)
+    if isinstance(reports, dict) and reports:
+        sample = next(iter(reports.values()))
+        if isinstance(sample, dict):
+            inner = next(iter(sample.values()))
+            if isinstance(inner, AccuracyReport):
+                return accuracy_rows(reports)
+            if isinstance(inner, TimingReport):
+                return timing_rows(reports)
+    per_block = getattr(result, "per_block", None)
+    if isinstance(per_block, dict):
+        merged = {
+            w: {
+                "per-block": result.per_block[w],
+                "global": result.global_table[w],
+            }
+            for w in per_block
+        }
+        return accuracy_rows(merged)
+    raise TypeError(
+        f"don't know how to export {type(result).__name__}"
+    )

@@ -1,0 +1,55 @@
+"""ASCII rendering of tables and stacked bars.
+
+The experiment modules print their results the way the paper lays them
+out: one row per benchmark, a trailing average row, and (for the
+accuracy figures) stacked predicted / not-predicted / mispredicted
+segments, where the mispredicted fraction stacks beyond 100% exactly as
+in Figure 6's axis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def bar_segments(
+    predicted: float,
+    not_predicted: float,
+    mispredicted: float,
+    width: int = 40,
+) -> str:
+    """Render one Figure-6 style stacked bar.
+
+    ``#`` = predicted, ``.`` = not predicted, ``!`` = mispredicted
+    (stacking past 100%, like the paper's 140%-tall bars).
+    """
+    pred_w = int(round(predicted * width))
+    not_w = max(0, int(round(not_predicted * width)))
+    mis_w = int(round(mispredicted * width))
+    if pred_w + not_w > width:  # rounding overflow
+        not_w = width - pred_w
+    return "#" * pred_w + "." * not_w + "!" * mis_w

@@ -1,0 +1,133 @@
+"""Per-block sharing-pattern classification.
+
+The paper's per-benchmark analysis constantly reasons in terms of
+sharing patterns — producer-consumer (em3d), migratory (moldyn's
+reduction, raytrace's jobs), read-mostly — and DSI's candidate
+selection is defined by them. This module recovers those patterns from
+an interleaved stream, both as a diagnostic for workload authors (does
+my generator actually produce migratory sharing?) and as analysis
+output (the pattern census experiment).
+
+Classification per actively shared block, over its full history:
+
+* ``PRODUCER_CONSUMER`` — a single writer; one or more distinct readers.
+* ``MIGRATORY`` — multiple writers, and writes are clustered: each
+  writer reads-then-writes during its tenure (read-modify-write
+  hand-offs).
+* ``WIDE_SHARED`` — multiple writers and wide read sharing
+  (mean readers per write-phase >= 2).
+* ``READ_ONLY`` — no writes after the first touch (not actively shared).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.trace.events import MemoryAccess
+
+BLOCK_SHIFT = 5
+
+
+class SharingPattern(enum.Enum):
+    READ_ONLY = "read-only"
+    PRODUCER_CONSUMER = "producer-consumer"
+    MIGRATORY = "migratory"
+    WIDE_SHARED = "wide-shared"
+    PRIVATE = "private"
+
+
+@dataclass
+class _BlockHistory:
+    writers: Set[int] = field(default_factory=set)
+    readers: Set[int] = field(default_factory=set)
+    #: number of write phases (maximal runs of one writer)
+    write_phases: int = 0
+    last_writer: int = -1
+    #: readers observed since the current writer took over
+    readers_this_phase: Set[int] = field(default_factory=set)
+    readers_per_phase: List[int] = field(default_factory=list)
+
+    def observe(self, node: int, is_write: bool) -> None:
+        if is_write:
+            if node != self.last_writer:
+                if self.last_writer != -1:
+                    self.readers_per_phase.append(
+                        len(self.readers_this_phase)
+                    )
+                self.write_phases += 1
+                self.last_writer = node
+                self.readers_this_phase = set()
+            self.writers.add(node)
+        else:
+            self.readers.add(node)
+            self.readers_this_phase.add(node)
+
+    def classify(self) -> SharingPattern:
+        all_nodes = self.writers | self.readers
+        if len(all_nodes) <= 1:
+            return SharingPattern.PRIVATE
+        if not self.writers:
+            return SharingPattern.READ_ONLY
+        if len(self.writers) == 1:
+            return SharingPattern.PRODUCER_CONSUMER
+        phases = self.readers_per_phase or [len(self.readers)]
+        mean_readers = sum(phases) / len(phases)
+        if mean_readers >= 2.0:
+            return SharingPattern.WIDE_SHARED
+        return SharingPattern.MIGRATORY
+
+
+@dataclass
+class SharingCensus:
+    """Pattern counts over one workload's blocks."""
+
+    counts: Dict[SharingPattern, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    total_blocks: int = 0
+
+    def fraction(self, pattern: SharingPattern) -> float:
+        if self.total_blocks == 0:
+            return 0.0
+        return self.counts[pattern] / self.total_blocks
+
+    def dominant(self) -> SharingPattern:
+        return max(self.counts, key=lambda p: self.counts[p])
+
+    def summary(self) -> str:
+        parts = [
+            f"{pattern.value}={self.counts[pattern]}"
+            for pattern in SharingPattern
+            if self.counts[pattern]
+        ]
+        return f"blocks={self.total_blocks} " + " ".join(parts)
+
+
+def classify_stream(
+    stream: Iterable, block_shift: int = BLOCK_SHIFT
+) -> Dict[int, SharingPattern]:
+    """Classify every block touched by ``stream``."""
+    histories: Dict[int, _BlockHistory] = defaultdict(_BlockHistory)
+    for ev in stream:
+        if isinstance(ev, MemoryAccess):
+            histories[ev.address >> block_shift].observe(
+                ev.node, ev.is_write
+            )
+    return {
+        block: history.classify()
+        for block, history in histories.items()
+    }
+
+
+def census(
+    stream: Iterable, block_shift: int = BLOCK_SHIFT
+) -> SharingCensus:
+    """Aggregate pattern counts for one stream."""
+    result = SharingCensus()
+    for pattern in classify_stream(stream, block_shift).values():
+        result.counts[pattern] += 1
+        result.total_blocks += 1
+    return result

@@ -1,0 +1,131 @@
+"""The self-invalidation policy interface.
+
+Every mechanism evaluated in the paper — the LTP organizations, Last-PC,
+DSI, plus our oracle/null ablation policies — fits one per-node
+interface: it observes the node's memory accesses (with coherence
+metadata), invalidations, synchronization boundaries, and verification
+feedback, and decides when to self-invalidate which blocks.
+
+Access-triggered policies (LTP family) answer through the return value
+of :meth:`SelfInvalidationPolicy.on_access`; synchronization-triggered
+policies (DSI) answer through :meth:`SelfInvalidationPolicy.on_sync`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.protocol.states import MissKind
+from repro.trace.events import SyncKind
+
+
+@dataclass(slots=True)
+class PolicyDecision:
+    """Outcome of observing one access.
+
+    ``self_invalidate`` — predict that this access was the last touch to
+    the block; the controller will immediately write the block back.
+    """
+
+    self_invalidate: bool = False
+
+
+@dataclass
+class StorageReport:
+    """Hardware-cost accounting for Table 3.
+
+    Attributes:
+        signature_bits: width of each signature (current + stored).
+        counter_bits: width of each confidence counter.
+        tracked_blocks: blocks with a current-signature register, i.e.
+            every actively shared block the predictor ever followed.
+        table_entries_total: stored last-touch signatures summed over all
+            tables (per-block org: sum over block tables; global org: the
+            one table's size).
+        per_block_entries: for the per-block organization, the entry
+            count of each block's table (empty for global).
+    """
+
+    signature_bits: int = 0
+    counter_bits: int = 2
+    tracked_blocks: int = 0
+    table_entries_total: int = 0
+    per_block_entries: List[int] = field(default_factory=list)
+
+    @property
+    def entries_per_block(self) -> float:
+        """Average stored signatures per actively shared block ("ent")."""
+        if self.tracked_blocks == 0:
+            return 0.0
+        return self.table_entries_total / self.tracked_blocks
+
+    @property
+    def overhead_bytes_per_block(self) -> float:
+        """Bytes per actively shared block ("ovh"): one current-signature
+        register plus the amortized share of stored signatures and their
+        two-bit counters."""
+        if self.tracked_blocks == 0:
+            return 0.0
+        stored_bits = self.table_entries_total * (
+            self.signature_bits + self.counter_bits
+        )
+        total_bits = (
+            self.tracked_blocks * self.signature_bits + stored_bits
+        )
+        return total_bits / self.tracked_blocks / 8.0
+
+
+class SelfInvalidationPolicy:
+    """Per-node policy deciding when to self-invalidate which blocks.
+
+    The accuracy and timing simulators drive one instance per node with
+    the node-local event stream. Subclasses override the hooks they care
+    about; defaults are no-ops, so e.g. DSI ignores per-access prediction
+    and LTP ignores synchronization.
+    """
+
+    #: human-readable policy name for reports
+    name: str = "policy"
+
+    def on_access(
+        self,
+        block: int,
+        pc: int,
+        trace_start: bool,
+        miss_kind: Optional[MissKind],
+        version: Optional[int],
+    ) -> PolicyDecision:
+        """Observe one access by this node to a (shared) block.
+
+        Args:
+            block: block number touched.
+            pc: program counter of the touching instruction.
+            trace_start: the block just entered the cache (coherence miss
+                that installs data) — signature registers reset here.
+            miss_kind: coherence-miss classification, None on a hit.
+            version: directory write-version seen at fetch (DSI), None on
+                hits.
+        """
+        return PolicyDecision()
+
+    def on_invalidation(self, block: int) -> None:
+        """An external invalidation removed this node's copy: the trace
+        for ``block`` completed — the learning event."""
+
+    def on_sync(self, kind: SyncKind, sync_id: int) -> List[int]:
+        """This node crossed a synchronization boundary; return blocks to
+        self-invalidate now (DSI's bulk trigger)."""
+        return []
+
+    def on_verified_correct(self, block: int) -> None:
+        """Feedback: an earlier self-invalidation of ``block`` proved
+        correct (piggybacked verification bit, Section 4)."""
+
+    def on_premature(self, block: int) -> None:
+        """Feedback: an earlier self-invalidation of ``block`` proved
+        premature — this node needed the block again first."""
+
+    def storage_report(self) -> StorageReport:
+        """Hardware cost of the predictor state (Table 3)."""
+        return StorageReport()

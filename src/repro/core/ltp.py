@@ -1,0 +1,228 @@
+"""Two-level trace-based Last-Touch Predictors (Section 3.2).
+
+Both organizations keep one *current signature* register per cached
+block, updated on every access by the node's instruction stream. They
+differ in the second level:
+
+* :class:`PerBlockLTP` (PAp-like) — a separate last-touch signature
+  table per block. No interference between blocks; highest accuracy;
+  storage grows with the number of signatures each block needs.
+* :class:`GlobalLTP` (PAg-like) — one table shared by all blocks.
+  Cheaper and exploits common sharing patterns, but a complete trace of
+  one block that is a subtrace of another's causes cross-block aliasing
+  and premature predictions (Section 5.3).
+
+Learning: when an external invalidation terminates a block's trace, the
+block's current signature is inserted (or its confidence strengthened)
+in the table. Prediction: once a signature is present and confident, a
+matching current signature fires a self-invalidation; directory
+verification feedback then strengthens or weakens the fired signature's
+counter (Section 4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.core.base import (
+    PolicyDecision,
+    SelfInvalidationPolicy,
+    StorageReport,
+)
+from repro.core.confidence import ConfidenceConfig, CounterTable
+from repro.core.signature import SignatureEncoder, TruncatedAddEncoder
+from repro.protocol.states import MissKind
+
+
+class _TwoLevelPredictor(SelfInvalidationPolicy):
+    """Shared machinery of the two organizations and Last-PC."""
+
+    def __init__(
+        self,
+        encoder: Optional[SignatureEncoder] = None,
+        confidence: Optional[ConfidenceConfig] = None,
+    ) -> None:
+        self.encoder = encoder or TruncatedAddEncoder()
+        self.confidence = confidence or ConfidenceConfig()
+        #: block -> running signature of the in-flight trace
+        self._current: Dict[int, int] = {}
+        #: block -> fired signature awaiting directory verification
+        self._pending: Dict[int, int] = {}
+        #: blocks whose traces have ever completed (actively shared)
+        self._active_blocks: set = set()
+        # statistics
+        self.predictions_fired = 0
+        self.traces_learned = 0
+
+    # -- table access points differ between organizations ---------------
+
+    def _table_for(self, block: int) -> CounterTable:
+        raise NotImplementedError
+
+    def _learn_table_for(self, block: int) -> CounterTable:
+        """Table used when inserting a completed trace (may create)."""
+        raise NotImplementedError
+
+    # -- SelfInvalidationPolicy hooks ------------------------------------
+
+    def on_access(
+        self,
+        block: int,
+        pc: int,
+        trace_start: bool,
+        miss_kind: Optional[MissKind],
+        version: Optional[int],
+    ) -> PolicyDecision:
+        if trace_start:
+            sig = self.encoder.init(pc)
+        else:
+            prev = self._current.get(block)
+            # A block can be resident from before this policy attached;
+            # treat the first sighting as the trace start.
+            sig = (
+                self.encoder.init(pc)
+                if prev is None
+                else self.encoder.update(prev, pc)
+            )
+        table = self._table_for(block)
+        if table is not None and table.confident(sig):
+            # Predicted last touch: the controller will self-invalidate,
+            # ending the in-flight trace here.
+            self._current.pop(block, None)
+            self._pending[block] = sig
+            self._active_blocks.add(block)
+            self.predictions_fired += 1
+            return PolicyDecision(self_invalidate=True)
+        self._current[block] = sig
+        return PolicyDecision()
+
+    def on_invalidation(self, block: int) -> None:
+        sig = self._current.pop(block, None)
+        if sig is None:
+            return
+        self._learn_table_for(block).learn(sig)
+        self._active_blocks.add(block)
+        self.traces_learned += 1
+
+    def on_verified_correct(self, block: int) -> None:
+        sig = self._pending.pop(block, None)
+        if sig is not None:
+            self._learn_table_for(block).strengthen(sig)
+
+    def on_premature(self, block: int) -> None:
+        sig = self._pending.pop(block, None)
+        if sig is not None:
+            self._learn_table_for(block).weaken(sig)
+
+    def covers_block(self, block: int) -> bool:
+        """True when this predictor holds at least one *confident*
+        signature for ``block`` — i.e. it can be expected to handle the
+        block's self-invalidation itself. Hybrid policies use this to
+        decide where a fallback mechanism should step in."""
+        table = self._table_for(block)
+        if table is None:
+            return False
+        return any(
+            value >= self.confidence.predict_threshold
+            for _sig, value in table.items()
+        )
+
+
+class PerBlockLTP(_TwoLevelPredictor):
+    """PAp-like LTP: a last-touch signature table per block.
+
+    Capacity modelling (Section 3.3's finite direct-mapped /
+    set-associative structures): ``entries_per_block`` caps each block's
+    table (LRU within the table) and ``max_blocks`` caps how many blocks
+    the predictor tracks at once (LRU across block tables; evicting a
+    block forgets its signatures, exactly like losing its L2 tag). Both
+    default to unbounded — the configuration Table 3 measures.
+    """
+
+    name = "ltp"
+
+    def __init__(
+        self,
+        encoder: Optional[SignatureEncoder] = None,
+        confidence: Optional[ConfidenceConfig] = None,
+        entries_per_block: Optional[int] = None,
+        max_blocks: Optional[int] = None,
+    ) -> None:
+        super().__init__(encoder, confidence)
+        self.entries_per_block = entries_per_block
+        self.max_blocks = max_blocks
+        self._tables: "OrderedDict[int, CounterTable]" = OrderedDict()
+        self.block_evictions = 0
+
+    def _table_for(self, block: int) -> Optional[CounterTable]:
+        table = self._tables.get(block)
+        if table is not None:
+            self._tables.move_to_end(block)
+        return table
+
+    def _learn_table_for(self, block: int) -> CounterTable:
+        table = self._tables.get(block)
+        if table is None:
+            if (
+                self.max_blocks is not None
+                and len(self._tables) >= self.max_blocks
+            ):
+                self._tables.popitem(last=False)
+                self.block_evictions += 1
+            table = CounterTable(
+                self.confidence, max_entries=self.entries_per_block
+            )
+            self._tables[block] = table
+        else:
+            self._tables.move_to_end(block)
+        return table
+
+    def storage_report(self) -> StorageReport:
+        active = self._active_blocks
+        per_block = [
+            len(table)
+            for block, table in self._tables.items()
+            if block in active
+        ]
+        return StorageReport(
+            signature_bits=self.encoder.bits,
+            counter_bits=self.confidence.bits,
+            tracked_blocks=len(active),
+            table_entries_total=sum(per_block),
+            per_block_entries=per_block,
+        )
+
+
+class GlobalLTP(_TwoLevelPredictor):
+    """PAg-like LTP: one global last-touch signature table.
+
+    All blocks share the table, so a signature learned from one block
+    predicts (and mispredicts) for any other — the cross-block subtrace
+    aliasing of Section 5.3.
+    """
+
+    name = "ltp-global"
+
+    def __init__(
+        self,
+        encoder: Optional[SignatureEncoder] = None,
+        confidence: Optional[ConfidenceConfig] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        super().__init__(encoder, confidence)
+        self._table = CounterTable(self.confidence, max_entries=max_entries)
+
+    def _table_for(self, block: int) -> CounterTable:
+        return self._table
+
+    def _learn_table_for(self, block: int) -> CounterTable:
+        return self._table
+
+    def storage_report(self) -> StorageReport:
+        return StorageReport(
+            signature_bits=self.encoder.bits,
+            counter_bits=self.confidence.bits,
+            tracked_blocks=len(self._active_blocks),
+            table_entries_total=len(self._table),
+        )

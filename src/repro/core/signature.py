@@ -1,0 +1,111 @@
+"""Trace signature encoders.
+
+A signature is a small fixed-width encoding of an instruction trace.
+The paper uses **truncated addition**: the running signature is the sum
+of the PCs in the trace, truncated to the signature width. "Our results
+indicate that truncated addition randomizes the signature bits and
+enables encoding large traces into a small number of bits" (Section 3.2);
+Section 5.2 then sweeps the width from 30 bits (enough to hold one full
+PC) down to 6 and finds 13 the practical minimum for per-block tables.
+
+Encoders are tiny value objects with two pure functions:
+
+* ``init(pc)`` — the signature of a trace beginning at ``pc`` (the
+  coherence-missing instruction);
+* ``update(sig, pc)`` — fold the next touching instruction in.
+
+:class:`LastPCEncoder` degenerates the history to length one, which is
+exactly the paper's Last-PC baseline. :class:`XorRotateEncoder` is an
+ablation encoder (not in the paper) that preserves ordering information
+differently, used by the encoder-comparison ablation experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Width that can represent one whole (synthetic) PC — the paper's "Base".
+BASE_SIGNATURE_BITS = 30
+
+
+@dataclass(frozen=True)
+class SignatureEncoder:
+    """Interface: subclasses override ``init`` and ``update``.
+
+    Attributes:
+        bits: signature width; storage accounting uses this.
+    """
+
+    bits: int = BASE_SIGNATURE_BITS
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise ConfigurationError(
+                f"signature width must be in [1, 64], got {self.bits}"
+            )
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    def init(self, pc: int) -> int:
+        raise NotImplementedError
+
+    def update(self, sig: int, pc: int) -> int:
+        raise NotImplementedError
+
+    def encode_trace(self, pcs) -> int:
+        """Encode a complete trace (first element is the missing PC)."""
+        it = iter(pcs)
+        try:
+            sig = self.init(next(it))
+        except StopIteration:
+            raise ConfigurationError("cannot encode an empty trace")
+        for pc in it:
+            sig = self.update(sig, pc)
+        return sig
+
+
+@dataclass(frozen=True)
+class TruncatedAddEncoder(SignatureEncoder):
+    """The paper's encoder: running sum of PCs, truncated to ``bits``."""
+
+    def init(self, pc: int) -> int:
+        return pc & self.mask
+
+    def update(self, sig: int, pc: int) -> int:
+        return (sig + pc) & self.mask
+
+
+@dataclass(frozen=True)
+class LastPCEncoder(SignatureEncoder):
+    """History of length one: the signature *is* the latest PC.
+
+    Running the two-level predictor with this encoder reproduces the
+    paper's Last-PC baseline exactly.
+    """
+
+    def init(self, pc: int) -> int:
+        return pc & self.mask
+
+    def update(self, sig: int, pc: int) -> int:
+        return pc & self.mask
+
+
+@dataclass(frozen=True)
+class XorRotateEncoder(SignatureEncoder):
+    """Ablation encoder: rotate-left-by-one then XOR the PC.
+
+    Unlike truncated addition this is sensitive to *order* beyond the
+    multiset of PCs, but loses repetition counts faster (x XOR x = 0 two
+    rotations apart can collide). Used only by ablation experiments.
+    """
+
+    def init(self, pc: int) -> int:
+        return pc & self.mask
+
+    def update(self, sig: int, pc: int) -> int:
+        rotated = ((sig << 1) | (sig >> (self.bits - 1))) & self.mask
+        return rotated ^ (pc & self.mask)

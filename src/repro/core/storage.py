@@ -1,0 +1,76 @@
+"""Aggregation of per-node storage reports (Table 3).
+
+Table 3 reports, per application, the average number of last-touch
+signature entries ("ent") and the per-block overhead in bytes ("ovh"),
+for the per-block and global organizations. Each node has its own
+predictor; this module combines the 32 per-node
+:class:`~repro.core.base.StorageReport` objects into the system-wide
+averages the table shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.base import StorageReport
+
+
+@dataclass(frozen=True)
+class AggregateStorage:
+    """System-wide storage figures for one predictor configuration."""
+
+    signature_bits: int
+    counter_bits: int
+    tracked_blocks: int
+    table_entries_total: int
+
+    @property
+    def entries_per_block(self) -> float:
+        if self.tracked_blocks == 0:
+            return 0.0
+        return self.table_entries_total / self.tracked_blocks
+
+    @property
+    def overhead_bytes_per_block(self) -> float:
+        if self.tracked_blocks == 0:
+            return 0.0
+        bits = (
+            self.tracked_blocks * self.signature_bits
+            + self.table_entries_total
+            * (self.signature_bits + self.counter_bits)
+        )
+        return bits / self.tracked_blocks / 8.0
+
+
+def aggregate_reports(reports: Iterable[StorageReport]) -> AggregateStorage:
+    """Combine per-node reports into one system-wide figure.
+
+    Raises ValueError if the reports disagree on widths (they come from
+    identical predictor configurations in any valid experiment).
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("no storage reports to aggregate")
+    sig_bits = {r.signature_bits for r in reports}
+    ctr_bits = {r.counter_bits for r in reports}
+    if len(sig_bits) != 1 or len(ctr_bits) != 1:
+        raise ValueError(
+            f"mixed widths in reports: sig={sig_bits}, ctr={ctr_bits}"
+        )
+    return AggregateStorage(
+        signature_bits=sig_bits.pop(),
+        counter_bits=ctr_bits.pop(),
+        tracked_blocks=sum(r.tracked_blocks for r in reports),
+        table_entries_total=sum(r.table_entries_total for r in reports),
+    )
+
+
+def max_entries_per_block(reports: Iterable[StorageReport]) -> int:
+    """Largest single per-block table observed (sizing the worst case)."""
+    worst = 0
+    for report in reports:
+        entries: List[int] = report.per_block_entries
+        if entries:
+            worst = max(worst, max(entries))
+    return worst

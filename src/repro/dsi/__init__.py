@@ -1,0 +1,20 @@
+"""Dynamic Self-Invalidation (Lebeck & Wood, ISCA 1995) — the baseline.
+
+DSI identifies *candidate* blocks with a versioning protocol (the
+directory increments a write-version each time a processor gains
+exclusive access; a node re-fetching a block whose version moved on is
+seeing active sharing) and self-invalidates all of a node's candidates
+in bulk when the node crosses a synchronization boundary.
+
+The paper's Section 2.1/5.1 discussion pins down the two properties our
+model reproduces: DSI excludes migratory (exclusive-fetched) blocks from
+candidacy — Lebeck & Wood found selecting them causes frequent premature
+self-invalidation — and its bulk trigger is both late (sharers often
+request right after the critical section) and bursty (queueing at the
+directory).
+"""
+
+from repro.dsi.versioning import VersioningSelector
+from repro.dsi.predictor import DSIPolicy
+
+__all__ = ["DSIPolicy", "VersioningSelector"]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Submodules raise the most specific subclass available.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached an impossible state.
+
+    This always indicates a bug in the engine (or a hand-built event
+    stream violating the memory model), never a user input problem.
+    """
+
+
+class SchedulingError(ReproError):
+    """The trace scheduler cannot make progress (deadlock, bad program)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given unusable parameters."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator detected an internal inconsistency."""

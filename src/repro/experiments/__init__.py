@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per table/figure of the evaluation.
+
+Each module exposes ``run(size=..., workloads=...)`` returning a result
+object with a ``render()`` method that prints the paper-shaped rows.
+The command-line entry point (``python -m repro.experiments.cli`` or the
+installed ``ltp-repro`` script) dispatches to them.
+
+==================  =======================================================
+``figure6``         DSI / Last-PC / LTP accuracy per application
+``figure7``         LTP accuracy vs signature width (30/13/11/6 bits)
+``figure8``         per-block (13-bit) vs global (30-bit) organizations
+``table3``          signature entries and bytes per block, both orgs
+``figure9``         execution-time speedups of DSI and LTP over base
+``table4``          directory queueing/service and SI timeliness
+``ablations``       oracle bound, confidence policies, encoders
+``forwarding``      extension: SI + consumer prediction (Section 2 limit)
+``variants``        extension: invalidate vs downgrade protocol
+``traffic``         extension: invalidation-message accounting
+``si-delay``        extension: timeliness sensitivity (SI issue delay)
+``patterns``        extension: sharing-pattern census per workload
+``stability``       extension: accuracy spread across workload seeds
+``hybrid``          extension: LTP with DSI versioning fallback
+==================  =======================================================
+"""

@@ -1,0 +1,114 @@
+"""Ablations beyond the paper: the design-choice probes DESIGN.md lists.
+
+* **oracle** — a perfect last-touch policy (two-pass profiling): the
+  coverage ceiling any trace predictor could reach; the gap between LTP
+  and the oracle is training loss + genuinely unstable traces.
+* **confidence** — threshold/retirement policy sweep: the paper's
+  saturated-threshold filter vs an eager threshold, and signature
+  retirement (poisoning) vs a plain inc/dec counter.
+* **encoders** — truncated addition (the paper's) vs an order-sensitive
+  XOR-rotate encoder at equal width.
+* **capacity** — finite per-block tables (1 and 2 entries, LRU): the
+  direct-mapped / set-associative implementations of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.formatting import format_table
+from repro.core import (
+    ConfidenceConfig,
+    PerBlockLTP,
+    TruncatedAddEncoder,
+    XorRotateEncoder,
+)
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    run_accuracy,
+    workload_list,
+)
+from repro.sim import AccuracySimulator
+from repro.sim.results import AccuracyReport
+
+
+@dataclass
+class AblationResult:
+    size: str
+    #: workload -> variant name -> report
+    reports: Dict[str, Dict[str, AccuracyReport]] = field(
+        default_factory=dict
+    )
+    variants: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["workload"] + [f"{v} pred/mis" for v in self.variants]
+        rows: List[List[str]] = []
+        for workload, by_variant in self.reports.items():
+            row = [workload]
+            for variant in self.variants:
+                rep = by_variant[variant]
+                row.append(
+                    f"{rep.predicted_fraction:6.1%}/"
+                    f"{rep.mispredicted_fraction:5.1%}"
+                )
+            rows.append(row)
+        avg = ["average"]
+        for variant in self.variants:
+            per_app = [self.reports[w][variant] for w in self.reports]
+            avg.append(
+                f"{sum(r.predicted_fraction for r in per_app) / len(per_app):6.1%}"
+            )
+        rows.append(avg)
+        return format_table(
+            headers, rows,
+            title=f"Ablations (size={self.size})",
+        )
+
+
+def _capacity_factory(entries_per_block: int):
+    return lambda node: PerBlockLTP(entries_per_block=entries_per_block)
+
+
+def run(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> AblationResult:
+    variants = {
+        "ltp": lambda: make_policy_factory("ltp"),
+        "oracle": None,  # handled specially below
+        "eager-conf": lambda: make_policy_factory(
+            "ltp",
+            confidence=ConfidenceConfig(initial=2, predict_threshold=2),
+        ),
+        "no-poison": lambda: make_policy_factory(
+            "ltp",
+            confidence=ConfidenceConfig(poison_on_premature=False),
+        ),
+        "xor-rotate": lambda: make_policy_factory(
+            "ltp", encoder=XorRotateEncoder(30)
+        ),
+        "trunc-13": lambda: make_policy_factory(
+            "ltp", encoder=TruncatedAddEncoder(13)
+        ),
+        # finite hardware: capped signature entries per block
+        # (direct-mapped / 2-way tables, Section 3.3) — blocks needing
+        # several signatures thrash
+        "cap-1": lambda: _capacity_factory(1),
+        "cap-2": lambda: _capacity_factory(2),
+    }
+    result = AblationResult(size=size, variants=list(variants))
+    for workload in workload_list(workloads):
+        programs = build_workload(workload, size)
+        by_variant: Dict[str, AccuracyReport] = {}
+        for variant, factory_maker in variants.items():
+            if variant == "oracle":
+                sim = AccuracySimulator(make_policy_factory("base"))
+                by_variant[variant] = sim.run_oracle(programs)
+            else:
+                by_variant[variant] = run_accuracy(
+                    programs, factory_maker()
+                )
+        result.reports[workload] = by_variant
+    return result

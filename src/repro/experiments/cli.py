@@ -1,0 +1,191 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    ltp-repro fig6
+    ltp-repro fig9 --size small --workloads em3d tomcatv
+    ltp-repro all --size tiny
+    python -m repro.experiments.cli table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.experiments import (
+    ablations,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    forwarding,
+    hybrid,
+    patterns,
+    protocol_variants,
+    report,
+    si_delay,
+    stability,
+    table3,
+    table4,
+    traffic,
+)
+from repro.timing.config import SystemConfig
+from repro.trace.stats import collect_stream_stats
+from repro.trace.scheduler import interleave
+from repro.workloads import SIZES, WORKLOAD_NAMES, get_workload
+
+EXPERIMENTS = {
+    "fig6": figure6.run,
+    "fig7": figure7.run,
+    "fig8": figure8.run,
+    "fig9": figure9.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "ablations": ablations.run,
+    "forwarding": forwarding.run,
+    "variants": protocol_variants.run,
+    "traffic": traffic.run,
+    "si-delay": si_delay.run,
+    "patterns": patterns.run,
+    "stability": stability.run,
+    "hybrid": hybrid.run,
+}
+
+
+def _render_config() -> str:
+    cfg = SystemConfig()
+    lines = [
+        "Table 1 — system configuration",
+        f"  nodes                  {cfg.num_nodes}",
+        f"  block size             {cfg.block_size} bytes",
+        f"  network latency        {cfg.network_latency} cycles",
+        f"  memory service         {cfg.memory_service_time} cycles",
+        f"  clean miss round trip  {cfg.clean_miss_round_trip} cycles",
+        f"  remote-to-local ratio  "
+        f"{cfg.clean_miss_round_trip / cfg.memory_service_time:.1f}",
+    ]
+    return "\n".join(lines)
+
+
+def _render_workloads(size: str) -> str:
+    lines = [f"Table 2 — workloads at size={size!r}"]
+    for name in WORKLOAD_NAMES:
+        workload = get_workload(name, size)
+        programs = workload.build()
+        stats = collect_stream_stats(interleave(programs))
+        lines.append(
+            f"  {name:<13} nodes={programs.num_nodes:<3} "
+            f"accesses={stats.accesses:<9,} "
+            f"blocks={len(stats.blocks):<6} "
+            f"actively shared={stats.actively_shared_blocks():<6} "
+            f"writes={stats.write_fraction:5.1%}"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ltp-repro",
+        description=(
+            "Reproduce the tables and figures of Lai & Falsafi, "
+            "'Selective, Accurate, and Timely Self-Invalidation Using "
+            "Last-Touch Prediction' (ISCA 2000)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in (*EXPERIMENTS, "all"):
+        p = sub.add_parser(name, help=f"run {name}")
+        p.add_argument("--size", choices=SIZES, default="small")
+        p.add_argument(
+            "--workloads", nargs="+", choices=WORKLOAD_NAMES, default=None
+        )
+        p.add_argument(
+            "--csv", metavar="PATH", default=None,
+            help="also write flattened rows as CSV",
+        )
+        p.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="also write flattened rows as JSON",
+        )
+    p = sub.add_parser(
+        "report", help="run the full evaluation, emit one markdown doc"
+    )
+    p.add_argument("--size", choices=SIZES, default="small")
+    p.add_argument(
+        "--workloads", nargs="+", choices=WORKLOAD_NAMES, default=None
+    )
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the markdown to PATH instead of stdout")
+    sub.add_parser("config", help="print the Table 1 system parameters")
+    p = sub.add_parser("workloads", help="print Table 2 workload stats")
+    p.add_argument("--size", choices=SIZES, default="small")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "config":
+        print(_render_config())
+        return 0
+    if args.command == "report":
+        doc = report.run(size=args.size, workloads=args.workloads)
+        text = doc.render()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"[wrote {args.out}]")
+        else:
+            print(text)
+        return 0
+    if args.command == "workloads":
+        print(_render_workloads(args.size))
+        return 0
+    names = (
+        list(EXPERIMENTS) if args.command == "all" else [args.command]
+    )
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](
+            size=args.size, workloads=args.workloads
+        )
+        print(result.render())
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+        _maybe_export(result, args)
+    return 0
+
+
+def _maybe_export(result, args) -> None:
+    csv_path = getattr(args, "csv", None)
+    json_path = getattr(args, "json", None)
+    if not csv_path and not json_path:
+        return
+    from repro.analysis.export import (
+        export_result,
+        rows_to_csv,
+        rows_to_json,
+    )
+
+    try:
+        rows = export_result(result)
+    except TypeError as exc:
+        print(f"[export skipped: {exc}]")
+        return
+    if csv_path:
+        with open(csv_path, "w") as handle:
+            handle.write(rows_to_csv(rows))
+        print(f"[wrote {csv_path}]")
+    if json_path:
+        with open(json_path, "w") as handle:
+            handle.write(rows_to_json(rows))
+        print(f"[wrote {json_path}]")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

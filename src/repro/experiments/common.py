@@ -1,0 +1,78 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core import (
+    ConfidenceConfig,
+    GlobalLTP,
+    LastPCPredictor,
+    NullPolicy,
+    PerBlockLTP,
+    SelfInvalidationPolicy,
+    SignatureEncoder,
+    TruncatedAddEncoder,
+)
+from repro.dsi import DSIPolicy
+from repro.errors import ConfigurationError
+from repro.sim import AccuracyReport, AccuracySimulator
+from repro.timing import TimingReport, TimingSimulator
+from repro.trace.program import ProgramSet
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+PolicyFactory = Callable[[int], SelfInvalidationPolicy]
+
+#: canonical policy names used on the CLI and in reports
+POLICIES = ("base", "dsi", "last-pc", "ltp", "ltp-global")
+
+
+def make_policy_factory(
+    name: str,
+    bits: int = 30,
+    confidence: Optional[ConfidenceConfig] = None,
+    encoder: Optional[SignatureEncoder] = None,
+) -> PolicyFactory:
+    """Build a per-node policy factory by canonical name."""
+    if name == "base":
+        return lambda node: NullPolicy()
+    if name == "dsi":
+        return lambda node: DSIPolicy()
+    if name == "last-pc":
+        return lambda node: LastPCPredictor(bits=bits, confidence=confidence)
+    enc = encoder or TruncatedAddEncoder(bits)
+    if name == "ltp":
+        return lambda node: PerBlockLTP(enc, confidence)
+    if name == "ltp-global":
+        return lambda node: GlobalLTP(enc, confidence)
+    raise ConfigurationError(
+        f"unknown policy {name!r}; choose from {POLICIES}"
+    )
+
+
+def build_workload(name: str, size: str, **overrides) -> ProgramSet:
+    return get_workload(name, size, **overrides).build()
+
+
+def workload_list(workloads: Optional[Iterable[str]]) -> List[str]:
+    if workloads is None:
+        return list(WORKLOAD_NAMES)
+    names = list(workloads)
+    for name in names:
+        if name not in WORKLOAD_NAMES:
+            raise ConfigurationError(
+                f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+            )
+    return names
+
+
+def run_accuracy(
+    programs: ProgramSet, factory: PolicyFactory
+) -> AccuracyReport:
+    return AccuracySimulator(factory).run(programs)
+
+
+def run_timing(
+    programs: ProgramSet, factory: PolicyFactory
+) -> TimingReport:
+    return TimingSimulator(factory).run(programs)

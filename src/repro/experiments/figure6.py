@@ -1,0 +1,99 @@
+"""Figure 6: invalidations predicted / not predicted / mispredicted.
+
+Paper reference points: DSI averages 47% predicted with 14% premature;
+Last-PC 41% (confidence counters hold mispredictions to ~2%); per-block
+LTP 79% predicted / 3% mispredicted, the headline accuracy claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.accuracy import mean_fraction
+from repro.analysis.formatting import bar_segments, format_table
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    run_accuracy,
+    workload_list,
+)
+from repro.sim.results import AccuracyReport
+
+POLICY_ORDER = ("dsi", "last-pc", "ltp")
+
+
+@dataclass
+class Figure6Result:
+    """Per-(workload, policy) accuracy reports."""
+
+    size: str
+    reports: Dict[str, Dict[str, AccuracyReport]] = field(
+        default_factory=dict
+    )
+
+    def average(self, policy: str, selector: str = "predicted") -> float:
+        per_app = [self.reports[w][policy] for w in self.reports]
+        key = {
+            "predicted": lambda r: r.predicted_fraction,
+            "mispredicted": lambda r: r.mispredicted_fraction,
+        }[selector]
+        return mean_fraction(per_app, key)
+
+    def render(self) -> str:
+        headers = ["workload"]
+        for policy in POLICY_ORDER:
+            headers += [f"{policy}:pred", f"{policy}:not", f"{policy}:mis"]
+        rows: List[List[str]] = []
+        for workload, by_policy in self.reports.items():
+            row = [workload]
+            for policy in POLICY_ORDER:
+                rep = by_policy[policy]
+                row += [
+                    f"{rep.predicted_fraction:6.1%}",
+                    f"{rep.not_predicted_fraction:6.1%}",
+                    f"{rep.mispredicted_fraction:6.1%}",
+                ]
+            rows.append(row)
+        avg = ["average"]
+        for policy in POLICY_ORDER:
+            avg += [
+                f"{self.average(policy):6.1%}",
+                "",
+                f"{self.average(policy, 'mispredicted'):6.1%}",
+            ]
+        rows.append(avg)
+        table = format_table(
+            headers,
+            rows,
+            title=(
+                "Figure 6 — fraction of invalidations predicted / "
+                f"not predicted / mispredicted (size={self.size})"
+            ),
+        )
+        bars = ["", "bars: # predicted  . not predicted  ! mispredicted"]
+        for workload, by_policy in self.reports.items():
+            for policy in POLICY_ORDER:
+                rep = by_policy[policy]
+                bars.append(
+                    f"{workload:<13} {policy:<8} |"
+                    + bar_segments(
+                        rep.predicted_fraction,
+                        rep.not_predicted_fraction,
+                        rep.mispredicted_fraction,
+                    )
+                )
+        return table + "\n" + "\n".join(bars)
+
+
+def run(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> Figure6Result:
+    result = Figure6Result(size=size)
+    for workload in workload_list(workloads):
+        programs = build_workload(workload, size)
+        result.reports[workload] = {
+            policy: run_accuracy(programs, make_policy_factory(policy))
+            for policy in POLICY_ORDER
+        }
+    return result

@@ -1,0 +1,80 @@
+"""Figure 7: LTP prediction sensitivity to signature size.
+
+The paper sweeps the truncated-addition width from 30 bits (the "Base"
+able to hold one full PC) down to 6, finding that "a minimum of 13 bits
+are required to maintain a high prediction accuracy" — accuracy is flat
+from 30 to ~13 and collapses near 6 bits, except in applications whose
+traces are trivially short (em3d, barnes, raytrace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.formatting import format_table
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    run_accuracy,
+    workload_list,
+)
+from repro.sim.results import AccuracyReport
+
+#: the paper's sweep: A=Base(30) B=13 C=11 D=6
+DEFAULT_WIDTHS: Tuple[int, ...] = (30, 13, 11, 6)
+
+
+@dataclass
+class Figure7Result:
+    size: str
+    widths: Sequence[int]
+    reports: Dict[str, Dict[int, AccuracyReport]] = field(
+        default_factory=dict
+    )
+
+    def render(self) -> str:
+        headers = ["workload"] + [
+            f"{w}-bit pred/mis" for w in self.widths
+        ]
+        rows: List[List[str]] = []
+        for workload, by_width in self.reports.items():
+            row = [workload]
+            for width in self.widths:
+                rep = by_width[width]
+                row.append(
+                    f"{rep.predicted_fraction:6.1%}/"
+                    f"{rep.mispredicted_fraction:5.1%}"
+                )
+            rows.append(row)
+        avg_row = ["average"]
+        for width in self.widths:
+            per_app = [self.reports[w][width] for w in self.reports]
+            mean = sum(r.predicted_fraction for r in per_app) / len(per_app)
+            avg_row.append(f"{mean:6.1%}")
+        rows.append(avg_row)
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Figure 7 — LTP accuracy vs signature width "
+                f"(size={self.size})"
+            ),
+        )
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+) -> Figure7Result:
+    result = Figure7Result(size=size, widths=widths)
+    for workload in workload_list(workloads):
+        programs = build_workload(workload, size)
+        result.reports[workload] = {
+            width: run_accuracy(
+                programs, make_policy_factory("ltp", bits=width)
+            )
+            for width in widths
+        }
+    return result

@@ -1,0 +1,73 @@
+"""Figure 9: execution-time speedups of DSI and LTP over the base DSM.
+
+Paper reference points: DSI averages 3% (best 23%) and *increases*
+execution time in four of nine applications; LTP averages 11% (best
+30%) and slows only one application, by less than 1% (barnes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.formatting import format_table
+from repro.analysis.speedup import geomean
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    run_timing,
+    workload_list,
+)
+from repro.timing.stats import TimingReport
+
+
+@dataclass
+class Figure9Result:
+    size: str
+    #: workload -> policy ("base"/"dsi"/"ltp") -> timing report
+    reports: Dict[str, Dict[str, TimingReport]] = field(
+        default_factory=dict
+    )
+
+    def speedup(self, workload: str, policy: str) -> float:
+        by_policy = self.reports[workload]
+        return by_policy[policy].speedup_over(by_policy["base"])
+
+    def render(self) -> str:
+        headers = ["workload", "base cycles", "DSI speedup", "LTP speedup"]
+        rows: List[List[str]] = []
+        for workload, by_policy in self.reports.items():
+            rows.append([
+                workload,
+                f"{by_policy['base'].execution_cycles:,.0f}",
+                f"{self.speedup(workload, 'dsi'):5.3f}",
+                f"{self.speedup(workload, 'ltp'):5.3f}",
+            ])
+        if self.reports:
+            rows.append([
+                "geomean",
+                "",
+                f"{geomean(self.speedup(w, 'dsi') for w in self.reports):5.3f}",
+                f"{geomean(self.speedup(w, 'ltp') for w in self.reports):5.3f}",
+            ])
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Figure 9 — speedup of speculative self-invalidation "
+                f"over the base DSM (size={self.size})"
+            ),
+        )
+
+
+def run(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> Figure9Result:
+    result = Figure9Result(size=size)
+    for workload in workload_list(workloads):
+        programs = build_workload(workload, size)
+        result.reports[workload] = {
+            policy: run_timing(programs, make_policy_factory(policy))
+            for policy in ("base", "dsi", "ltp")
+        }
+    return result

@@ -1,0 +1,78 @@
+"""Extension experiment: the hybrid LTP+DSI policy.
+
+Accuracy comparison of DSI, per-block LTP, and the hybrid across all
+workloads. Expected shape: hybrid ≈ max(LTP, DSI) per application —
+specifically, it recovers DSI's coverage on barnes (the one LTP loss)
+without giving back the trace-stable workloads' accuracy or importing
+DSI's premature bursts (those are vetoed on LTP-covered blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.formatting import format_table
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    run_accuracy,
+    workload_list,
+)
+from repro.ext.hybrid import HybridPolicy
+from repro.sim.results import AccuracyReport
+
+POLICIES = ("dsi", "ltp", "hybrid")
+
+
+@dataclass
+class HybridResult:
+    size: str
+    reports: Dict[str, Dict[str, AccuracyReport]] = field(
+        default_factory=dict
+    )
+
+    def render(self) -> str:
+        headers = ["workload"] + [
+            f"{p} pred/mis" for p in POLICIES
+        ]
+        rows = []
+        for workload, by_policy in self.reports.items():
+            row = [workload]
+            for policy in POLICIES:
+                rep = by_policy[policy]
+                row.append(
+                    f"{rep.predicted_fraction:6.1%}/"
+                    f"{rep.mispredicted_fraction:5.1%}"
+                )
+            rows.append(row)
+        avg = ["average"]
+        for policy in POLICIES:
+            per_app = [self.reports[w][policy] for w in self.reports]
+            avg.append(
+                f"{sum(r.predicted_fraction for r in per_app) / len(per_app):6.1%}"
+            )
+        rows.append(avg)
+        return format_table(
+            headers, rows,
+            title=(
+                "Hybrid LTP+DSI — trace prediction with versioning "
+                f"fallback (size={self.size})"
+            ),
+        )
+
+
+def run(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> HybridResult:
+    result = HybridResult(size=size)
+    for workload in workload_list(workloads):
+        programs = build_workload(workload, size)
+        result.reports[workload] = {
+            "dsi": run_accuracy(programs, make_policy_factory("dsi")),
+            "ltp": run_accuracy(programs, make_policy_factory("ltp")),
+            "hybrid": run_accuracy(
+                programs, lambda node: HybridPolicy()
+            ),
+        }
+    return result

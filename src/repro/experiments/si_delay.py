@@ -1,0 +1,88 @@
+"""Extension experiment: how much does *timeliness* buy?
+
+The paper's third pillar (after selectivity and accuracy) is that LTP
+self-invalidates "at the earliest possible time — immediately upon the
+last reference". This sweep delays every predicted self-invalidation by
+a fixed number of cycles before it leaves the node, emulating a queued
+predictor port (Section 3.3) or, at large delays, the lateness of
+synchronization-triggered schemes. Expected shape: timeliness and the
+speedup both decay monotonically with the delay, converging toward
+DSI-like behaviour; the knee sits near the consumer inter-arrival time
+of each workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.analysis.formatting import format_table
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    workload_list,
+)
+from repro.timing import TimingSimulator
+from repro.timing.stats import TimingReport
+
+DEFAULT_DELAYS: Tuple[int, ...] = (0, 500, 2000, 8000)
+DEFAULT_WORKLOADS = ("em3d", "tomcatv", "appbt")
+
+
+@dataclass
+class SiDelayResult:
+    size: str
+    delays: Sequence[int]
+    base: Dict[str, TimingReport] = field(default_factory=dict)
+    runs: Dict[str, Dict[int, TimingReport]] = field(default_factory=dict)
+
+    def speedup(self, workload: str, delay: int) -> float:
+        return self.runs[workload][delay].speedup_over(
+            self.base[workload]
+        )
+
+    def render(self) -> str:
+        headers = ["workload"] + [
+            f"d={d} spd/timely" for d in self.delays
+        ]
+        rows = []
+        for workload in self.runs:
+            row = [workload]
+            for delay in self.delays:
+                rep = self.runs[workload][delay]
+                row.append(
+                    f"{self.speedup(workload, delay):5.3f}/"
+                    f"{rep.selfinval.timeliness:5.1%}"
+                )
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title=(
+                "Self-invalidation fire-delay sweep — speedup and "
+                f"timeliness vs issue delay in cycles (size={self.size})"
+            ),
+        )
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    delays: Sequence[int] = DEFAULT_DELAYS,
+) -> SiDelayResult:
+    names = (
+        list(DEFAULT_WORKLOADS) if workloads is None
+        else workload_list(workloads)
+    )
+    result = SiDelayResult(size=size, delays=delays)
+    for workload in names:
+        programs = build_workload(workload, size)
+        result.base[workload] = TimingSimulator(
+            make_policy_factory("base")
+        ).run(programs)
+        result.runs[workload] = {
+            delay: TimingSimulator(
+                make_policy_factory("ltp"), si_fire_delay=delay
+            ).run(programs)
+            for delay in delays
+        }
+    return result

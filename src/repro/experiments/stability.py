@@ -1,0 +1,83 @@
+"""Extension experiment: seed stability of the accuracy results.
+
+The randomized workloads (barnes's tree mutation, unstructured's mesh
+wiring, moldyn's interaction lists, raytrace's render jitter) could in
+principle make the Figure 6 numbers seed-dependent. This experiment
+re-runs the LTP accuracy measurement across several seeds and reports
+mean and spread per workload — the reproduction is only meaningful if
+the spread is small relative to the between-policy gaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.formatting import format_table
+from repro.experiments.common import make_policy_factory, workload_list
+from repro.sim import AccuracySimulator
+from repro.workloads import get_workload
+
+DEFAULT_SEEDS = (11, 23, 47, 91)
+
+
+@dataclass
+class StabilityResult:
+    size: str
+    seeds: Sequence[int]
+    #: workload -> predicted fraction per seed
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    @staticmethod
+    def _mean(xs: List[float]) -> float:
+        return sum(xs) / len(xs) if xs else 0.0
+
+    def mean(self, workload: str) -> float:
+        return self._mean(self.samples[workload])
+
+    def stdev(self, workload: str) -> float:
+        xs = self.samples[workload]
+        if len(xs) < 2:
+            return 0.0
+        mu = self._mean(xs)
+        return math.sqrt(
+            sum((x - mu) ** 2 for x in xs) / (len(xs) - 1)
+        )
+
+    def render(self) -> str:
+        headers = ["workload", "mean predicted", "stdev", "min", "max"]
+        rows = []
+        for workload, xs in self.samples.items():
+            rows.append([
+                workload,
+                f"{self.mean(workload):6.1%}",
+                f"{self.stdev(workload):6.2%}",
+                f"{min(xs):6.1%}",
+                f"{max(xs):6.1%}",
+            ])
+        return format_table(
+            headers, rows,
+            title=(
+                f"LTP accuracy across seeds {tuple(self.seeds)} "
+                f"(size={self.size})"
+            ),
+        )
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> StabilityResult:
+    result = StabilityResult(size=size, seeds=seeds)
+    for workload in workload_list(workloads):
+        samples: List[float] = []
+        for seed in seeds:
+            programs = get_workload(workload, size, seed=seed).build()
+            report = AccuracySimulator(
+                make_policy_factory("ltp")
+            ).run(programs)
+            samples.append(report.predicted_fraction)
+        result.samples[workload] = samples
+    return result

@@ -1,0 +1,87 @@
+"""Table 3: signature entries and per-block storage overhead.
+
+For each application the paper reports the average number of last-touch
+signature entries per actively shared block ("ent") and the per-block
+overhead in bytes ("ovh"), for the per-block organization (13-bit
+signatures) and the global one (30-bit). Both assume one current
+signature register per block and a two-bit counter per stored
+signature; the paper's bottom line is ~7 bytes/block per-block vs ~6
+bytes/block global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.formatting import format_table
+from repro.core.storage import AggregateStorage
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    run_accuracy,
+    workload_list,
+)
+
+PER_BLOCK_BITS = 13
+GLOBAL_BITS = 30
+
+
+@dataclass
+class Table3Result:
+    size: str
+    #: workload -> (per-block storage, global storage)
+    storage: Dict[str, Tuple[AggregateStorage, AggregateStorage]] = field(
+        default_factory=dict
+    )
+
+    def render(self) -> str:
+        headers = [
+            "workload",
+            "per-blk ent", "per-blk ovh(B)",
+            "global ent", "global ovh(B)",
+        ]
+        rows: List[List[str]] = []
+        for workload, (per_block, global_tab) in self.storage.items():
+            rows.append([
+                workload,
+                f"{per_block.entries_per_block:5.2f}",
+                f"{per_block.overhead_bytes_per_block:5.1f}",
+                f"{global_tab.entries_per_block:5.2f}",
+                f"{global_tab.overhead_bytes_per_block:5.1f}",
+            ])
+        if self.storage:
+            n = len(self.storage)
+            rows.append([
+                "average",
+                f"{sum(s[0].entries_per_block for s in self.storage.values()) / n:5.2f}",
+                f"{sum(s[0].overhead_bytes_per_block for s in self.storage.values()) / n:5.1f}",
+                f"{sum(s[1].entries_per_block for s in self.storage.values()) / n:5.2f}",
+                f"{sum(s[1].overhead_bytes_per_block for s in self.storage.values()) / n:5.1f}",
+            ])
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Table 3 — signature entries and overhead per actively "
+                f"shared block (size={self.size})"
+            ),
+        )
+
+
+def run(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> Table3Result:
+    result = Table3Result(size=size)
+    for workload in workload_list(workloads):
+        programs = build_workload(workload, size)
+        per_block = run_accuracy(
+            programs, make_policy_factory("ltp", bits=PER_BLOCK_BITS)
+        )
+        global_tab = run_accuracy(
+            programs, make_policy_factory("ltp-global", bits=GLOBAL_BITS)
+        )
+        if per_block.storage is None or global_tab.storage is None:
+            continue
+        result.storage[workload] = (per_block.storage, global_tab.storage)
+    return result

@@ -1,0 +1,76 @@
+"""Extension experiment: message traffic per policy.
+
+Section 1 motivates self-invalidation with "accurate speculative
+invalidation can virtually eliminate all invalidation messages". This
+experiment counts, per workload and policy, the external invalidation
+messages actually delivered and the total network messages, showing the
+trade: LTP converts invalidation round-trips into one-way writebacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.formatting import format_table
+from repro.experiments.common import (
+    build_workload,
+    make_policy_factory,
+    workload_list,
+)
+from repro.timing import TimingSimulator
+from repro.timing.stats import TimingReport
+
+
+@dataclass
+class TrafficResult:
+    size: str
+    reports: Dict[str, Dict[str, TimingReport]] = field(
+        default_factory=dict
+    )
+
+    def invalidation_reduction(self, workload: str, policy: str) -> float:
+        base = self.reports[workload]["base"].external_invalidations
+        if base == 0:
+            return 0.0
+        mine = self.reports[workload][policy].external_invalidations
+        return 1.0 - mine / base
+
+    def render(self) -> str:
+        headers = [
+            "workload",
+            "base invals", "DSI invals", "LTP invals",
+            "LTP reduction", "LTP self-invals",
+        ]
+        rows = []
+        for workload, by_policy in self.reports.items():
+            rows.append([
+                workload,
+                f"{by_policy['base'].external_invalidations}",
+                f"{by_policy['dsi'].external_invalidations}",
+                f"{by_policy['ltp'].external_invalidations}",
+                f"{self.invalidation_reduction(workload, 'ltp'):6.1%}",
+                f"{by_policy['ltp'].selfinval.fired}",
+            ])
+        return format_table(
+            headers, rows,
+            title=(
+                "Invalidation-message traffic per policy "
+                f"(size={self.size})"
+            ),
+        )
+
+
+def run(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> TrafficResult:
+    result = TrafficResult(size=size)
+    for workload in workload_list(workloads):
+        programs = build_workload(workload, size)
+        result.reports[workload] = {
+            policy: TimingSimulator(
+                make_policy_factory(policy)
+            ).run(programs)
+            for policy in ("base", "dsi", "ltp")
+        }
+    return result

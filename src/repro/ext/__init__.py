@@ -1,0 +1,18 @@
+"""Extensions beyond the paper's evaluated mechanisms.
+
+Section 2 of the paper sketches the end game: "In the limit,
+self-invalidation together with accurate sharing prediction can help
+eliminate remote access latency by always forwarding a memory block to
+a subsequent sharer prior to an access." This package implements that
+combination: a directory-side consumer predictor
+(:mod:`repro.ext.sharing`) that, whenever a speculative
+self-invalidation is applied, forwards the block to the node predicted
+to consume it next — turning the consumer's coherence miss into a local
+hit. The ``repro.experiments.forwarding`` experiment quantifies the
+additional speedup.
+"""
+
+from repro.ext.hybrid import HybridPolicy
+from repro.ext.sharing import ConsumerPredictor, ForwardingStats
+
+__all__ = ["ConsumerPredictor", "ForwardingStats", "HybridPolicy"]

@@ -1,0 +1,48 @@
+"""Per-node network-cache model.
+
+The paper assumes "a large enough network cache ... to eliminate all
+capacity/conflict traffic" (Section 5), so the cache model is an
+infinite-capacity map from block to :class:`CacheState`; every miss is a
+coherence miss. This keeps accuracy results attributable purely to
+sharing behaviour, exactly as in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.protocol.states import CacheState
+
+
+class NodeCaches:
+    """The caches of all nodes in the system."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ProtocolError(f"need at least one node, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._state: List[Dict[int, CacheState]] = [
+            {} for _ in range(num_nodes)
+        ]
+
+    def lookup(self, node: int, block: int) -> Optional[CacheState]:
+        return self._state[node].get(block)
+
+    def install(self, node: int, block: int, state: CacheState) -> None:
+        self._state[node][block] = state
+
+    def evict(self, node: int, block: int) -> None:
+        """Remove a copy (invalidation or self-invalidation)."""
+        removed = self._state[node].pop(block, None)
+        if removed is None:
+            raise ProtocolError(
+                f"evicting block {block:#x} not cached by node {node}"
+            )
+
+    def blocks_cached(self, node: int) -> Dict[int, CacheState]:
+        """Live view of a node's cached blocks (do not mutate)."""
+        return self._state[node]
+
+    def footprint(self, node: int) -> int:
+        return len(self._state[node])

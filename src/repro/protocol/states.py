@@ -1,0 +1,55 @@
+"""Protocol state enumerations shared by the functional and timing models."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DirState(enum.Enum):
+    """Directory state of a block (Section 2 of the paper).
+
+    * ``IDLE`` — the block resides only at home; no remote copies.
+    * ``SHARED`` — one or more read-only remote copies.
+    * ``EXCLUSIVE`` — a single writable remote copy.
+    """
+
+    IDLE = "idle"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class CacheState(enum.Enum):
+    """State of a block in a node's (network) cache."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class ProtocolVariant(enum.Enum):
+    """How a read to an Exclusive block treats the writer (Section 2).
+
+    "DSM protocols differ in whether, upon a read request, to downgrade
+    a writer's copy and allow the writer to maintain a read-only copy
+    (favoring producer-consumer sharing) or to invalidate the writer's
+    copy (favoring migratory sharing)."
+
+    The paper evaluates the ``INVALIDATE`` variant; ``DOWNGRADE`` is
+    provided for the protocol ablation (the writer keeps a read-only
+    copy after a writeback, so its trace continues across the read).
+    """
+
+    INVALIDATE = "invalidate"
+    DOWNGRADE = "downgrade"
+
+
+class MissKind(enum.Enum):
+    """Classification of a coherence miss.
+
+    ``UPGRADE`` is a write to a block the node already caches read-only:
+    permission changes but the data stays resident, so the node's trace
+    for the block continues (see DESIGN.md, trace definition).
+    """
+
+    READ_FETCH = "read_fetch"
+    WRITE_FETCH = "write_fetch"
+    UPGRADE = "upgrade"

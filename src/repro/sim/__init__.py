@@ -1,0 +1,16 @@
+"""Simulation harnesses.
+
+* :class:`~repro.sim.functional.AccuracySimulator` — runs a workload's
+  deterministic global stream through the functional coherence engine
+  with one self-invalidation policy instance per node, classifying every
+  invalidation as predicted / not predicted / mispredicted (the Figure 6
+  semantics; see DESIGN.md).
+* :mod:`repro.sim.results` — the report objects experiments consume.
+
+The timing experiments use :mod:`repro.timing` directly.
+"""
+
+from repro.sim.functional import AccuracySimulator
+from repro.sim.results import AccuracyReport
+
+__all__ = ["AccuracyReport", "AccuracySimulator"]

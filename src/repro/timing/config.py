@@ -1,0 +1,107 @@
+"""System configuration — the reproduction of Table 1.
+
+The paper's latency parameters (600 MHz processors, 100 MHz bus):
+
+=================================== ==========
+Number of nodes                     32
+Local memory / network cache access 104 cycles
+Network latency                     80 cycles
+Round-trip miss latency             416 cycles
+Remote-to-local access ratio        ~4
+Cache block size                    32 bytes
+=================================== ==========
+
+Calibration: a clean 2-hop miss traverses both network interfaces, the
+wire twice, and the directory:
+``(ni + net) + request_overhead + memory + (ni + net) + reply_overhead``
+= 88 + 68 + 104 + 88 + 68 = **416 cycles**, matching Table 1's
+round-trip latency and the ~4x remote-to-local ratio (416/104).
+Dirty misses add the owner hop (~two more network traversals plus the
+writeback service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """All timing-model parameters, in processor cycles.
+
+    Attributes:
+        num_nodes: processor/home-node count (paper: 32).
+        block_shift: log2 of block size in bytes (paper: 5 -> 32 B).
+        network_latency: one-way point-to-point message latency.
+        memory_service_time: directory service of a data-carrying
+            message (includes the local memory / network cache access).
+        control_service_time: directory service of a control-only
+            message (invalidation acks, clean self-invalidations).
+        request_overhead: protocol processing added to each directory
+            request on the request path (assembling, lookup).
+        reply_overhead: processing of the reply at the requester.
+        engine_occupancy: cycles between service *starts* — the
+            two-stage pipelined engine accepts a new message this often
+            even while earlier ones finish.
+        ni_send_overhead: per-message serialization at a node's network
+            interface (burst senders delay their own later messages).
+        node_inval_process: node-side processing of an incoming
+            invalidation before the ack/writeback leaves.
+        hit_cost: cycles per cache-hit access.
+        barrier_latency: release broadcast cost after the last arrival.
+    """
+
+    num_nodes: int = 32
+    block_shift: int = 5
+    network_latency: int = 80
+    memory_service_time: int = 104
+    control_service_time: int = 40
+    request_overhead: int = 68
+    reply_overhead: int = 68
+    engine_occupancy: int = 52
+    ni_send_overhead: int = 8
+    node_inval_process: int = 12
+    hit_cost: int = 1
+    barrier_latency: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigurationError(f"num_nodes must be >= 1: {self}")
+        for field_name in (
+            "network_latency",
+            "memory_service_time",
+            "control_service_time",
+            "request_overhead",
+            "reply_overhead",
+            "engine_occupancy",
+            "ni_send_overhead",
+            "node_inval_process",
+            "hit_cost",
+            "barrier_latency",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(
+                    f"{field_name} must be >= 0 in {self}"
+                )
+
+    @property
+    def block_size(self) -> int:
+        return 1 << self.block_shift
+
+    @property
+    def clean_miss_round_trip(self) -> int:
+        """The Table-1 'round-trip miss latency' this config implies:
+        the uncontended end-to-end cost of a 2-hop miss."""
+        return (
+            2 * (self.ni_send_overhead + self.network_latency)
+            + self.request_overhead
+            + self.memory_service_time
+            + self.reply_overhead
+        )
+
+    def home_of(self, block: int) -> int:
+        """Home node of a block: low-order block-number interleaving,
+        the standard CC-NUMA page/block distribution."""
+        return block % self.num_nodes

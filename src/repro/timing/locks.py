@@ -1,0 +1,69 @@
+"""FIFO lock manager for the timing simulator.
+
+Lock *semantics* (mutual exclusion, FIFO grant order) are enforced here;
+lock *traffic* — the test&test&set reads and the acquiring/releasing
+stores — is issued by the node model through the ordinary coherence
+path, so lock blocks ping-pong through the directory exactly like data
+blocks and are fully visible to the predictors (the paper's appbt and
+raytrace behaviours hinge on this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class _Lock:
+    holder: Optional[int] = None
+    waiters: Deque[int] = field(default_factory=deque)
+    #: hand-offs since each waiter joined: drives variable spin counts
+    handoffs: int = 0
+
+
+class LockManager:
+    """Tracks holder and FIFO waiters for every lock id."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[int, _Lock] = {}
+
+    def _lock(self, lock_id: int) -> _Lock:
+        lock = self._locks.get(lock_id)
+        if lock is None:
+            lock = _Lock()
+            self._locks[lock_id] = lock
+        return lock
+
+    def try_acquire(self, lock_id: int, node: int) -> bool:
+        """Acquire immediately if free and nobody queued; else join the
+        FIFO and return False."""
+        lock = self._lock(lock_id)
+        if lock.holder is None and not lock.waiters:
+            lock.holder = node
+            return True
+        lock.waiters.append(node)
+        return False
+
+    def release(self, lock_id: int, node: int) -> Optional[int]:
+        """Release; return the next holder (already promoted) if any."""
+        lock = self._lock(lock_id)
+        if lock.holder != node:
+            raise SimulationError(
+                f"node {node} releasing lock {lock_id} held by {lock.holder}"
+            )
+        lock.handoffs += 1
+        if lock.waiters:
+            lock.holder = lock.waiters.popleft()
+            return lock.holder
+        lock.holder = None
+        return None
+
+    def holder(self, lock_id: int) -> Optional[int]:
+        return self._lock(lock_id).holder
+
+    def queue_length(self, lock_id: int) -> int:
+        return len(self._lock(lock_id).waiters)

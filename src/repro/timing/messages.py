@@ -1,0 +1,68 @@
+"""Protocol message types exchanged between nodes and directories."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class MsgType(enum.Enum):
+    """Every message class in the split-transaction protocol.
+
+    Directory-bound: READ_REQ, WRITE_REQ (also used for upgrades),
+    WRITEBACK (owner's data response), ACK_INV (sharer's invalidation
+    ack), SELF_INVAL (speculative writeback from a predictor).
+
+    Node-bound: DATA_REPLY (completes a miss), INVALIDATE (drop a shared
+    copy), FETCH_INVAL (owner must write back and drop).
+    """
+
+    READ_REQ = "read_req"
+    WRITE_REQ = "write_req"
+    WRITEBACK = "writeback"
+    ACK_INV = "ack_inv"
+    SELF_INVAL = "self_inval"
+    DATA_REPLY = "data_reply"
+    INVALIDATE = "invalidate"
+    FETCH_INVAL = "fetch_inval"
+    #: DOWNGRADE protocol variant: owner writes back but keeps a
+    #: read-only copy
+    FETCH_DOWNGRADE = "fetch_downgrade"
+    #: forwarding extension: unsolicited read-only copy pushed to the
+    #: predicted next consumer after a self-invalidation
+    DATA_FORWARD = "data_forward"
+
+
+#: Message types that the directory must defer while the block has a
+#: transaction in flight (third-party invalidations outstanding).
+#: Transaction-completing messages (WRITEBACK, ACK_INV) must never park.
+PARKABLE = frozenset(
+    {MsgType.READ_REQ, MsgType.WRITE_REQ, MsgType.SELF_INVAL}
+)
+
+#: Directory-bound messages whose service includes a memory access.
+DATA_CARRYING = frozenset(
+    {MsgType.READ_REQ, MsgType.WRITE_REQ, MsgType.WRITEBACK}
+)
+
+_seq = itertools.count()
+
+
+@dataclass
+class Message:
+    """One protocol message.
+
+    ``dirty`` on a SELF_INVAL marks a flushed exclusive copy (carries
+    data, costs a memory access to service). ``arrival`` is stamped by
+    the directory for queueing accounting.
+    """
+
+    mtype: MsgType
+    src: int
+    block: int
+    requester: Optional[int] = None
+    dirty: bool = False
+    arrival: float = 0.0
+    uid: int = field(default_factory=lambda: next(_seq))

@@ -1,0 +1,111 @@
+"""Timing-run statistics: the raw material of Figure 9 and Table 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.storage import AggregateStorage
+from repro.ext.sharing import ForwardingStats
+
+
+@dataclass
+class DirectoryStats:
+    """Per-message queueing and service accounting at the directories.
+
+    Table 4 reports the averages of these over all directory messages:
+    queueing delay (wait between arrival and service start) and service
+    time (start to completion).
+    """
+
+    messages: int = 0
+    queueing_cycles: float = 0.0
+    service_cycles: float = 0.0
+
+    def record(self, queueing: float, service: float) -> None:
+        self.messages += 1
+        self.queueing_cycles += queueing
+        self.service_cycles += service
+
+    @property
+    def mean_queueing(self) -> float:
+        return self.queueing_cycles / self.messages if self.messages else 0.0
+
+    @property
+    def mean_service(self) -> float:
+        return self.service_cycles / self.messages if self.messages else 0.0
+
+
+@dataclass
+class SelfInvalStats:
+    """Self-invalidation outcome accounting.
+
+    *timely_correct* — applied at the directory before the subsequent
+    request and verified correct (the fast path the paper wants).
+    *late_correct* — the prediction was right but the subsequent request
+    overtook the self-invalidation in the directory queue; the
+    transaction paid base-protocol cost.
+    *premature* — the self-invalidator itself re-requested the block.
+    *unresolved* — still awaiting verification at run end.
+    """
+
+    fired: int = 0
+    timely_correct: int = 0
+    late_correct: int = 0
+    premature: int = 0
+
+    @property
+    def correct(self) -> int:
+        return self.timely_correct + self.late_correct
+
+    @property
+    def timeliness(self) -> float:
+        """Fraction of *correct* self-invalidations that arrived timely —
+        Table 4's rightmost columns."""
+        total = self.correct
+        return self.timely_correct / total if total else 0.0
+
+    @property
+    def unresolved(self) -> int:
+        return max(0, self.fired - self.correct - self.premature)
+
+
+@dataclass
+class TimingReport:
+    """Complete outcome of one (workload, policy) timing run."""
+
+    workload: str
+    policy: str
+    execution_cycles: float = 0.0
+    directory: DirectoryStats = field(default_factory=DirectoryStats)
+    selfinval: SelfInvalStats = field(default_factory=SelfInvalStats)
+    accesses: int = 0
+    hits: int = 0
+    coherence_misses: int = 0
+    external_invalidations: int = 0
+    per_node_finish: Dict[int, float] = field(default_factory=dict)
+    storage: Optional[AggregateStorage] = None
+    #: populated only when the forwarding extension is enabled
+    forwarding: Optional[ForwardingStats] = None
+
+    @property
+    def miss_rate(self) -> float:
+        return (
+            self.coherence_misses / self.accesses if self.accesses else 0.0
+        )
+
+    def speedup_over(self, base: "TimingReport") -> float:
+        """Figure 9's metric: base execution time / this execution time."""
+        if self.execution_cycles == 0:
+            return 0.0
+        return base.execution_cycles / self.execution_cycles
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload:<14} {self.policy:<11} "
+            f"cycles={self.execution_cycles:>12.0f} "
+            f"missrate={self.miss_rate:6.2%} "
+            f"dirq={self.directory.mean_queueing:8.1f} "
+            f"dirsvc={self.directory.mean_service:7.1f} "
+            f"timely={self.selfinval.timeliness:6.1%}"
+        )

@@ -1,0 +1,116 @@
+"""Trace capture and replay.
+
+Streams produced by the interleaving scheduler (or by any external
+tool) can be serialized to a compact line-oriented text format and
+replayed through the accuracy simulator later — the classic
+trace-driven-simulation workflow the paper's infrastructure (Wisconsin
+Wind Tunnel II) provided natively.
+
+Format, one event per line::
+
+    A <node> <pc-hex> <address-hex> <R|W>     # memory access
+    S <node> <barrier|lock_acquire|lock_release> <sync-id>
+
+Lines starting with ``#`` and blank lines are ignored. The header line
+``#nodes <n>`` (written by :func:`save_stream`) records the node count
+for replay.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.trace.events import MemoryAccess, SyncBoundary, SyncKind
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open(target: PathOrFile, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode), True
+    return target, False
+
+
+def save_stream(
+    events: Iterable, target: PathOrFile, num_nodes: int
+) -> int:
+    """Serialize ``events``; returns the number of events written."""
+    handle, owned = _open(target, "w")
+    count = 0
+    try:
+        handle.write(f"#nodes {num_nodes}\n")
+        for ev in events:
+            if isinstance(ev, MemoryAccess):
+                handle.write(
+                    f"A {ev.node} {ev.pc:x} {ev.address:x} "
+                    f"{'W' if ev.is_write else 'R'}\n"
+                )
+            elif isinstance(ev, SyncBoundary):
+                handle.write(
+                    f"S {ev.node} {ev.kind.value} {ev.sync_id}\n"
+                )
+            else:
+                raise ConfigurationError(
+                    f"cannot serialize event {ev!r}"
+                )
+            count += 1
+    finally:
+        if owned:
+            handle.close()
+    return count
+
+
+def load_stream(target: PathOrFile) -> Tuple[int, Iterator]:
+    """Parse a saved trace; returns ``(num_nodes, event iterator)``.
+
+    The file is read eagerly (traces are replayed multiple times in
+    typical experiments) and validated line by line.
+    """
+    handle, owned = _open(target, "r")
+    try:
+        text = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    return parse_stream(text)
+
+
+def parse_stream(text: str) -> Tuple[int, Iterator]:
+    num_nodes = 0
+    events = []
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#nodes"):
+            num_nodes = int(line.split()[1])
+            continue
+        if line.startswith("#"):
+            continue
+        fields = line.split()
+        try:
+            if fields[0] == "A":
+                events.append(MemoryAccess(
+                    node=int(fields[1]),
+                    pc=int(fields[2], 16),
+                    address=int(fields[3], 16),
+                    is_write=fields[4] == "W",
+                ))
+            elif fields[0] == "S":
+                events.append(SyncBoundary(
+                    node=int(fields[1]),
+                    kind=SyncKind(fields[2]),
+                    sync_id=int(fields[3]),
+                ))
+            else:
+                raise ValueError(f"unknown record {fields[0]!r}")
+        except (IndexError, ValueError) as exc:
+            raise ConfigurationError(
+                f"bad trace line {lineno}: {line!r} ({exc})"
+            ) from exc
+    if num_nodes == 0 and events:
+        num_nodes = 1 + max(e.node for e in events)
+    return num_nodes, iter(events)

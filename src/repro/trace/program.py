@@ -1,0 +1,158 @@
+"""Per-node programs: the step language workloads are written in.
+
+A :class:`Program` is the ordered list of steps one node executes. The
+step types are deliberately minimal — plain memory accesses plus the two
+synchronization primitives the paper's benchmarks use (locks and
+barriers). Workload generators build one program per node; the
+functional scheduler (:mod:`repro.trace.scheduler`) and the timing
+simulator (:mod:`repro.timing`) both execute the same programs, so
+accuracy and timing experiments see identical instruction streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import WorkloadError
+
+
+@dataclass(slots=True)
+class Access:
+    """A load (``is_write=False``) or store to ``address`` at ``pc``.
+
+    ``work`` models the compute cycles preceding the access and is only
+    meaningful to the timing simulator.
+    """
+
+    pc: int
+    address: int
+    is_write: bool
+    work: int = 0
+
+
+@dataclass(slots=True)
+class Barrier:
+    """Global barrier; every node must reach it before any proceeds.
+
+    Barriers are matched by arrival order per node: the k-th Barrier step
+    a node executes synchronizes with the k-th of every other node.
+    ``barrier_id`` labels the *static* barrier site for analysis/DSI.
+    """
+
+    barrier_id: int
+
+
+@dataclass(slots=True)
+class LockAcquire:
+    """Acquire lock ``lock_id`` whose flag lives at ``address``.
+
+    The executing engines emit real memory traffic for the lock:
+    a test&test&set style read at ``spin_pc`` while waiting (either a
+    fixed, repeatable count via ``fixed_spins`` — predictable, like
+    appbt's pipelined spin-locks — or one re-read per ownership hand-off
+    while queued, which varies with contention like raytrace's workpool
+    lock), followed by the acquiring store at ``pc``.
+    """
+
+    lock_id: int
+    address: int
+    pc: int
+    spin_pc: int
+    fixed_spins: Optional[int] = None
+
+
+@dataclass(slots=True)
+class LockRelease:
+    """Release lock ``lock_id`` with a store to ``address`` at ``pc``."""
+
+    lock_id: int
+    address: int
+    pc: int
+
+
+Step = Union[Access, Barrier, LockAcquire, LockRelease]
+
+
+@dataclass(slots=True)
+class Program:
+    """The ordered steps executed by one node."""
+
+    node: int
+    steps: List[Step] = field(default_factory=list)
+
+    def append(self, step: Step) -> None:
+        self.steps.append(step)
+
+    def extend(self, steps: List[Step]) -> None:
+        self.steps.extend(steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class ProgramSet:
+    """A complete workload build: one program per node plus metadata.
+
+    Attributes:
+        name: workload name (e.g. ``"tomcatv"``).
+        num_nodes: number of processors; programs must cover exactly the
+            node ids ``0..num_nodes-1``.
+        programs: node id -> Program.
+        shared_blocks: optional hint listing the shared block numbers the
+            workload touches (used by reports; engines do not need it).
+    """
+
+    name: str
+    num_nodes: int
+    programs: Dict[int, Program]
+    shared_blocks: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        expected = set(range(self.num_nodes))
+        got = set(self.programs)
+        if got != expected:
+            raise WorkloadError(
+                f"ProgramSet {self.name!r} must define programs for nodes "
+                f"{sorted(expected)}, got {sorted(got)}"
+            )
+
+    def validate(self) -> None:
+        """Check structural sanity: barrier counts match across nodes and
+        every acquired lock is released by the same node.
+
+        Raises WorkloadError on the first violation found.
+        """
+        barrier_counts = {
+            node: sum(1 for s in prog.steps if isinstance(s, Barrier))
+            for node, prog in self.programs.items()
+        }
+        counts = set(barrier_counts.values())
+        if len(counts) > 1:
+            raise WorkloadError(
+                f"ProgramSet {self.name!r}: barrier counts differ across "
+                f"nodes: {barrier_counts}"
+            )
+        for node, prog in self.programs.items():
+            held: List[int] = []
+            for step in prog.steps:
+                if isinstance(step, LockAcquire):
+                    if step.lock_id in held:
+                        raise WorkloadError(
+                            f"node {node} re-acquires held lock {step.lock_id}"
+                        )
+                    held.append(step.lock_id)
+                elif isinstance(step, LockRelease):
+                    if step.lock_id not in held:
+                        raise WorkloadError(
+                            f"node {node} releases un-held lock {step.lock_id}"
+                        )
+                    held.remove(step.lock_id)
+            if held:
+                raise WorkloadError(
+                    f"node {node} ends holding locks {held} in {self.name!r}"
+                )
+
+    def total_steps(self) -> int:
+        return sum(len(p) for p in self.programs.values())

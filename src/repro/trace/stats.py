@@ -1,0 +1,84 @@
+"""Descriptive statistics over a global event stream.
+
+Used by reports (and tests) to characterize workload builds: access
+counts, read/write mix, block footprint, and sharing degree. These
+correspond to the "Benchmarks and inputs" context of Table 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from repro.trace.events import MemoryAccess, SyncBoundary
+
+DEFAULT_BLOCK_SHIFT = 5  # 32-byte blocks, Table 1
+
+
+@dataclass
+class StreamStats:
+    """Aggregate statistics of one interleaved stream."""
+
+    accesses: int = 0
+    writes: int = 0
+    sync_boundaries: int = 0
+    accesses_per_node: Dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    blocks: Set[int] = field(default_factory=set)
+    _block_readers: Dict[int, Set[int]] = field(
+        default_factory=lambda: defaultdict(set), repr=False
+    )
+    _block_writers: Dict[int, Set[int]] = field(
+        default_factory=lambda: defaultdict(set), repr=False
+    )
+
+    @property
+    def reads(self) -> int:
+        return self.accesses - self.writes
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.accesses if self.accesses else 0.0
+
+    def sharing_degree(self) -> float:
+        """Mean number of distinct nodes touching each block."""
+        if not self.blocks:
+            return 0.0
+        total = sum(
+            len(self._block_readers[b] | self._block_writers[b])
+            for b in self.blocks
+        )
+        return total / len(self.blocks)
+
+    def actively_shared_blocks(self) -> int:
+        """Blocks read and written by more than one node in total —
+        the blocks that can generate invalidations."""
+        count = 0
+        for b in self.blocks:
+            nodes = self._block_readers[b] | self._block_writers[b]
+            if len(nodes) > 1 and self._block_writers[b]:
+                count += 1
+        return count
+
+
+def collect_stream_stats(
+    stream: Iterable, block_shift: int = DEFAULT_BLOCK_SHIFT
+) -> StreamStats:
+    """Consume ``stream`` and return its :class:`StreamStats`."""
+    stats = StreamStats()
+    for ev in stream:
+        if isinstance(ev, MemoryAccess):
+            stats.accesses += 1
+            stats.accesses_per_node[ev.node] += 1
+            block = ev.address >> block_shift
+            stats.blocks.add(block)
+            if ev.is_write:
+                stats.writes += 1
+                stats._block_writers[block].add(ev.node)
+            else:
+                stats._block_readers[block].add(ev.node)
+        elif isinstance(ev, SyncBoundary):
+            stats.sync_boundaries += 1
+    return stats

@@ -1,0 +1,36 @@
+"""Synthetic workload generators mirroring the paper's nine benchmarks.
+
+The paper (Table 2) evaluates appbt, barnes, dsmc, em3d, moldyn, ocean,
+raytrace, tomcatv and unstructured under Wisconsin Wind Tunnel II. We
+cannot execute the original binaries, so each workload here is a
+*generator* that emits per-node instruction streams with the same
+sharing and control-flow structure the paper describes for that
+benchmark — the properties that drive every accuracy and timing result:
+
+* which instruction (PC) sequences touch each block between coherence
+  miss and invalidation, and whether those sequences repeat;
+* whether blocks are fetched read-first (DSI candidates), write-first
+  (DSI candidates via the version tag moving), or read-modify-write
+  (DSI's migratory exclusion);
+* where synchronization boundaries fall relative to the sharing, and
+  how regular lock spin counts are.
+
+See each module's docstring for its mapping to the paper's Section 5
+per-benchmark discussion, and DESIGN.md for the substitution argument.
+"""
+
+from repro.workloads.base import SIZES, Workload, WorkloadParams
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    available_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "SIZES",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "WorkloadParams",
+    "available_workloads",
+    "get_workload",
+]

@@ -1,0 +1,116 @@
+"""Address-space and code-map helpers for workload generators.
+
+Workloads allocate disjoint block-aligned regions for their data
+structures and stable synthetic PCs for their static instructions. Both
+allocators are deterministic: building the same workload twice yields
+byte-identical programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from repro.errors import WorkloadError
+
+BLOCK_SHIFT = 5
+BLOCK_SIZE = 1 << BLOCK_SHIFT
+
+
+class Region:
+    """A contiguous run of blocks belonging to one data structure."""
+
+    def __init__(self, name: str, start_block: int, blocks: int) -> None:
+        self.name = name
+        self.start_block = start_block
+        self.blocks = blocks
+
+    def block_addr(self, index: int) -> int:
+        """Byte address of the start of the ``index``-th block."""
+        if not 0 <= index < self.blocks:
+            raise WorkloadError(
+                f"block {index} outside region {self.name!r} "
+                f"({self.blocks} blocks)"
+            )
+        return (self.start_block + index) << BLOCK_SHIFT
+
+    def element_addr(self, index: int, per_block: int) -> int:
+        """Byte address of the ``index``-th element with ``per_block``
+        elements packed per block (the paper's packed-array scenario:
+        one instruction touching a block once per packed element)."""
+        if per_block < 1:
+            raise WorkloadError(f"per_block must be >= 1: {per_block}")
+        block, slot = divmod(index, per_block)
+        elem_size = BLOCK_SIZE // per_block
+        return self.block_addr(block) + slot * elem_size
+
+    def block_of(self, index: int, per_block: int) -> int:
+        """Block number holding the ``index``-th packed element."""
+        return self.start_block + index // per_block
+
+
+class AddressSpace:
+    """Bump allocator of disjoint regions over the shared address space."""
+
+    def __init__(self) -> None:
+        # Start above zero so block 0 never appears (catches address
+        # arithmetic bugs in generators).
+        self._next_block = 16
+        self._regions: Dict[str, Region] = {}
+
+    def region(self, name: str, blocks: int) -> Region:
+        if blocks < 1:
+            raise WorkloadError(f"region {name!r} needs >= 1 block")
+        if name in self._regions:
+            raise WorkloadError(f"region {name!r} allocated twice")
+        region = Region(name, self._next_block, blocks)
+        self._next_block += blocks
+        self._regions[name] = region
+        return region
+
+    def total_blocks(self) -> int:
+        return self._next_block - 16
+
+    def get(self, name: str) -> Region:
+        return self._regions[name]
+
+
+class CodeMap:
+    """Stable synthetic program counters, one per static instruction.
+
+    ``pc("force_loop.load")`` always returns the same value within a
+    build; distinct labels get distinct PCs. A PC is derived by hashing
+    the label into a word-aligned 22-bit text-segment offset: real
+    instructions are spread across a text segment and carry entropy in
+    their *low* bits, which is what makes truncated-addition signatures
+    informative at 13 bits (Section 5.2). Sequential low-entropy PCs
+    would make every signature width below the base behave identically.
+    """
+
+    #: word-aligned span of the synthetic text segment
+    _SPAN_BITS = 22
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._base = base
+        self._pcs: Dict[str, int] = {}
+        self._used: Dict[int, str] = {}
+
+    def pc(self, label: str) -> int:
+        existing = self._pcs.get(label)
+        if existing is not None:
+            return existing
+        digest = hashlib.md5(label.encode()).digest()
+        offset = int.from_bytes(digest[:4], "big")
+        offset &= (1 << self._SPAN_BITS) - 4  # word-aligned
+        while offset in self._used:  # extremely unlikely collision
+            offset = (offset + 4) & ((1 << self._SPAN_BITS) - 4)
+        value = self._base + offset
+        self._pcs[label] = value
+        self._used[offset] = label
+        return value
+
+    def labels(self) -> Dict[str, int]:
+        return dict(self._pcs)
+
+    def __len__(self) -> int:
+        return len(self._pcs)

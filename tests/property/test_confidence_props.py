@@ -1,0 +1,52 @@
+"""Property-based tests for confidence counters."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.confidence import ConfidenceConfig, CounterTable
+
+ops = st.lists(
+    st.sampled_from(["learn", "strengthen", "weaken"]),
+    min_size=0, max_size=60,
+)
+
+
+@given(ops, st.booleans())
+def test_counter_always_in_range(sequence, poison):
+    cfg = ConfidenceConfig(poison_on_premature=poison)
+    table = CounterTable(cfg)
+    for op in sequence:
+        getattr(table, op)("sig")
+        if "sig" in table:
+            assert 0 <= table.value("sig") <= cfg.max_value
+
+
+@given(ops)
+def test_never_confident_after_poison(sequence):
+    """Once poisoned, no operation sequence restores confidence."""
+    table = CounterTable(ConfidenceConfig())
+    table.learn("sig")
+    table.weaken("sig")  # poisons
+    for op in sequence:
+        getattr(table, op)("sig")
+        assert not table.confident("sig")
+
+
+@given(st.integers(min_value=0, max_value=3),
+       st.integers(min_value=0, max_value=3))
+def test_confident_iff_at_threshold(initial, threshold):
+    cfg = ConfidenceConfig(initial=initial, predict_threshold=threshold)
+    table = CounterTable(cfg)
+    table.learn("sig")
+    assert table.confident("sig") == (initial >= threshold)
+
+
+@given(st.integers(min_value=1, max_value=20))
+def test_enough_learns_always_saturate(n):
+    cfg = ConfidenceConfig(initial=0)
+    table = CounterTable(cfg)
+    # one insert at 0 plus max_value increments saturates; extra learns
+    # must stay saturated
+    for _ in range(cfg.max_value + n):
+        table.learn("sig")
+    assert table.value("sig") == cfg.max_value

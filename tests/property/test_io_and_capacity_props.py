@@ -1,0 +1,82 @@
+"""Property-based tests: trace IO round-trips and LRU table capacity."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import ConfidenceConfig, CounterTable
+from repro.trace.events import MemoryAccess, SyncBoundary, SyncKind
+from repro.trace.io import parse_stream, save_stream
+
+events_strategy = st.lists(
+    st.one_of(
+        st.builds(
+            MemoryAccess,
+            node=st.integers(min_value=0, max_value=31),
+            pc=st.integers(min_value=0, max_value=2**32 - 1),
+            address=st.integers(min_value=0, max_value=2**40 - 1),
+            is_write=st.booleans(),
+        ),
+        st.builds(
+            SyncBoundary,
+            node=st.integers(min_value=0, max_value=31),
+            kind=st.sampled_from(list(SyncKind)),
+            sync_id=st.integers(min_value=0, max_value=10**6),
+        ),
+    ),
+    max_size=60,
+)
+
+
+@given(events_strategy)
+@settings(max_examples=80, deadline=None)
+def test_trace_io_roundtrip(events):
+    buf = io.StringIO()
+    written = save_stream(events, buf, num_nodes=32)
+    assert written == len(events)
+    num_nodes, parsed = parse_stream(buf.getvalue())
+    parsed = list(parsed)
+    assert num_nodes == 32
+    assert len(parsed) == len(events)
+    for original, loaded in zip(events, parsed):
+        assert type(original) is type(loaded)
+        if isinstance(original, MemoryAccess):
+            assert (loaded.node, loaded.pc, loaded.address,
+                    loaded.is_write) == (
+                original.node, original.pc, original.address,
+                original.is_write,
+            )
+        else:
+            assert (loaded.node, loaded.kind, loaded.sync_id) == (
+                original.node, original.kind, original.sync_id,
+            )
+
+
+key_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["learn", "strengthen", "weaken", "confident"]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=80,
+)
+
+
+@given(key_ops, st.integers(min_value=1, max_value=4))
+@settings(max_examples=80, deadline=None)
+def test_capacity_never_exceeded(ops, cap):
+    table = CounterTable(ConfidenceConfig(), max_entries=cap)
+    for op, key in ops:
+        getattr(table, op)(key)
+        assert len(table) <= cap
+
+
+@given(key_ops, st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_most_recent_key_survives(ops, cap):
+    """LRU: the key touched last is never the one evicted next."""
+    table = CounterTable(ConfidenceConfig(), max_entries=cap)
+    for op, key in ops:
+        getattr(table, op)(key)
+        if op in ("learn", "strengthen"):
+            assert key in table

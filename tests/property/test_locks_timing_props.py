@@ -1,0 +1,84 @@
+"""Property-based tests: the timing engine with lock-using programs.
+
+Random balanced lock/barrier programs must complete without deadlock
+under any policy, keep critical sections mutually exclusive, and
+preserve the self-invalidation accounting identities.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NullPolicy, PerBlockLTP
+from repro.dsi import DSIPolicy
+from repro.timing import SystemConfig, TimingSimulator
+from repro.trace.program import (
+    Access,
+    Barrier,
+    LockAcquire,
+    LockRelease,
+    Program,
+    ProgramSet,
+)
+
+LOCK_ADDR = 0x8000
+DATA_ADDR = 0x9000
+
+
+@st.composite
+def lock_programs(draw):
+    num_nodes = draw(st.integers(min_value=2, max_value=4))
+    num_locks = draw(st.integers(min_value=1, max_value=2))
+    progs = {}
+    for node in range(num_nodes):
+        p = Program(node)
+        sections = draw(st.integers(min_value=0, max_value=3))
+        for s in range(sections):
+            lock = draw(st.integers(min_value=0, max_value=num_locks - 1))
+            fixed = draw(
+                st.one_of(st.none(), st.integers(min_value=1, max_value=3))
+            )
+            p.append(LockAcquire(
+                lock, LOCK_ADDR + 32 * lock, 0x10, 0x14,
+                fixed_spins=fixed,
+            ))
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                blk = draw(st.integers(min_value=0, max_value=3))
+                p.append(Access(0x20, DATA_ADDR + 32 * blk,
+                                draw(st.booleans())))
+            p.append(LockRelease(lock, LOCK_ADDR + 32 * lock, 0x18))
+        p.append(Barrier(1))
+        progs[node] = p
+    return ProgramSet("lock-random", num_nodes, progs)
+
+
+@given(lock_programs())
+@settings(max_examples=30, deadline=None)
+def test_completes_under_null_policy(ps):
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+    rep = TimingSimulator(lambda n: NullPolicy(), cfg).run(ps)
+    assert len(rep.per_node_finish) == ps.num_nodes
+
+
+@given(lock_programs())
+@settings(max_examples=20, deadline=None)
+def test_completes_under_ltp_and_dsi(ps):
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+    for factory in (lambda n: PerBlockLTP(), lambda n: DSIPolicy()):
+        rep = TimingSimulator(factory, cfg).run(ps)
+        s = rep.selfinval
+        assert (
+            s.timely_correct + s.late_correct + s.premature
+            + s.unresolved == s.fired
+        )
+
+
+@given(lock_programs())
+@settings(max_examples=20, deadline=None)
+def test_forwarding_safe_with_locks(ps):
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+    rep = TimingSimulator(
+        lambda n: PerBlockLTP(), cfg, forwarding=True
+    ).run(ps)
+    f = rep.forwarding
+    assert f is not None
+    assert f.useful + f.wasted <= f.forwards

@@ -1,0 +1,88 @@
+"""Property-based tests for the interleaving scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import MemoryAccess
+from repro.trace.program import Access, Barrier, Program, ProgramSet
+from repro.trace.scheduler import interleave
+
+
+@st.composite
+def barrier_consistent_programs(draw):
+    """Random per-node programs with equal barrier counts."""
+    num_nodes = draw(st.integers(min_value=2, max_value=4))
+    num_phases = draw(st.integers(min_value=1, max_value=4))
+    progs = {}
+    for node in range(num_nodes):
+        p = Program(node)
+        for phase in range(num_phases):
+            k = draw(st.integers(min_value=0, max_value=6))
+            for i in range(k):
+                pc = draw(st.integers(min_value=4, max_value=2**20))
+                blk = draw(st.integers(min_value=0, max_value=7))
+                wr = draw(st.booleans())
+                p.append(Access(pc, 0x1000 + 32 * blk, wr))
+            p.append(Barrier(phase))
+        progs[node] = p
+    return ProgramSet("random", num_nodes, progs)
+
+
+@given(barrier_consistent_programs())
+@settings(max_examples=60, deadline=None)
+def test_every_access_emitted_exactly_once(ps):
+    emitted = {}
+    for ev in interleave(ps):
+        if isinstance(ev, MemoryAccess):
+            emitted.setdefault(ev.node, []).append(
+                (ev.pc, ev.address, ev.is_write)
+            )
+    for node, prog in ps.programs.items():
+        expected = [
+            (s.pc, s.address, s.is_write)
+            for s in prog.steps
+            if isinstance(s, Access)
+        ]
+        assert emitted.get(node, []) == expected
+
+
+@given(barrier_consistent_programs())
+@settings(max_examples=40, deadline=None)
+def test_interleaving_is_deterministic(ps):
+    def fingerprint():
+        return [
+            (type(e).__name__, e.node, getattr(e, "pc", -1))
+            for e in interleave(ps)
+        ]
+
+    assert fingerprint() == fingerprint()
+
+
+@given(barrier_consistent_programs(),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_quantum_preserves_per_node_order(ps, quantum):
+    seen = {}
+    for ev in interleave(ps, quantum=quantum):
+        if isinstance(ev, MemoryAccess):
+            seen.setdefault(ev.node, []).append(ev.pc)
+    for node, prog in ps.programs.items():
+        expected = [s.pc for s in prog.steps if isinstance(s, Access)]
+        assert seen.get(node, []) == expected
+
+
+@given(barrier_consistent_programs())
+@settings(max_examples=40, deadline=None)
+def test_barrier_phases_do_not_overlap(ps):
+    """No node's phase-k access may appear after another node's
+    phase-(k+1) access has appeared... i.e. barriers are barriers."""
+    phase = {node: 0 for node in ps.programs}
+    max_started = 0
+    for ev in interleave(ps):
+        if isinstance(ev, MemoryAccess):
+            max_started = max(max_started, phase[ev.node])
+            # a node cannot still be in an earlier phase than one that
+            # has completed globally
+            assert phase[ev.node] >= max_started - 1
+        else:  # SyncBoundary (barrier arrival)
+            phase[ev.node] += 1

@@ -1,0 +1,85 @@
+"""Property-based tests for signature encoders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import (
+    LastPCEncoder,
+    TruncatedAddEncoder,
+    XorRotateEncoder,
+)
+
+pcs = st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+               min_size=1, max_size=30)
+widths = st.integers(min_value=1, max_value=64)
+
+
+@given(pcs, widths)
+def test_trunc_add_within_mask(trace, bits):
+    enc = TruncatedAddEncoder(bits)
+    assert 0 <= enc.encode_trace(trace) <= enc.mask
+
+
+@given(pcs, widths)
+def test_trunc_add_equals_fold(trace, bits):
+    enc = TruncatedAddEncoder(bits)
+    sig = enc.init(trace[0])
+    for pc in trace[1:]:
+        sig = enc.update(sig, pc)
+    assert enc.encode_trace(trace) == sig
+
+
+@given(pcs, widths)
+def test_trunc_add_is_truncated_sum(trace, bits):
+    enc = TruncatedAddEncoder(bits)
+    assert enc.encode_trace(trace) == sum(trace) & enc.mask
+
+
+@given(pcs)
+def test_trunc_add_order_insensitive(trace):
+    """Truncated addition encodes the multiset of PCs: any permutation
+    yields the same signature (a documented limitation: ordering
+    information is only preserved through repetition counts)."""
+    enc = TruncatedAddEncoder(30)
+    assert enc.encode_trace(trace) == enc.encode_trace(
+        list(reversed(trace))
+    )
+
+
+@given(pcs, widths)
+def test_prefix_signature_is_running_value(trace, bits):
+    """The root cause of subtrace aliasing: every prefix's signature
+    appears as the running signature mid-trace."""
+    enc = TruncatedAddEncoder(bits)
+    running = enc.init(trace[0])
+    prefix_sigs = [running]
+    for pc in trace[1:]:
+        running = enc.update(running, pc)
+        prefix_sigs.append(running)
+    for k in range(1, len(trace) + 1):
+        assert enc.encode_trace(trace[:k]) == prefix_sigs[k - 1]
+
+
+@given(pcs)
+def test_last_pc_encoder_keeps_final(trace):
+    enc = LastPCEncoder(64)
+    assert enc.encode_trace(trace) == trace[-1]
+
+
+@given(pcs, st.integers(min_value=2, max_value=64))
+def test_xor_rotate_within_mask(trace, bits):
+    enc = XorRotateEncoder(bits)
+    assert 0 <= enc.encode_trace(trace) <= enc.mask
+
+
+@given(st.integers(min_value=0, max_value=2**30 - 1),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=50)
+def test_wider_signature_refines_narrower(pc, bits):
+    """A narrow signature is always the truncation of a wider one over
+    the same trace (monotone information)."""
+    wide = TruncatedAddEncoder(64)
+    narrow = TruncatedAddEncoder(bits)
+    trace = [pc, pc * 3 + 1, pc // 2]
+    assert wide.encode_trace(trace) & narrow.mask == \
+        narrow.encode_trace(trace)

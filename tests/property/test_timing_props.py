@@ -1,0 +1,99 @@
+"""Property-based tests for the timing simulator.
+
+Random (legal) program sets must complete without deadlock, produce
+execution times bounded below by each node's serial work, and keep the
+self-invalidation accounting identities regardless of policy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NullPolicy, PerBlockLTP
+from repro.core.confidence import ConfidenceConfig
+from repro.timing import SystemConfig, TimingSimulator
+from repro.trace.program import Access, Barrier, Program, ProgramSet
+
+FAST = ConfidenceConfig(initial=3, predict_threshold=3)
+
+
+@st.composite
+def timing_programs(draw):
+    num_nodes = draw(st.integers(min_value=2, max_value=4))
+    num_phases = draw(st.integers(min_value=1, max_value=3))
+    progs = {}
+    for node in range(num_nodes):
+        p = Program(node)
+        for phase in range(num_phases):
+            k = draw(st.integers(min_value=0, max_value=5))
+            for _ in range(k):
+                blk = draw(st.integers(min_value=0, max_value=5))
+                wr = draw(st.booleans())
+                work = draw(st.integers(min_value=0, max_value=50))
+                p.append(Access(0x40 + 4 * node, 0x1000 + 32 * blk,
+                                wr, work=work))
+            p.append(Barrier(phase))
+        progs[node] = p
+    return ProgramSet("random-timing", num_nodes, progs)
+
+
+@given(timing_programs())
+@settings(max_examples=40, deadline=None)
+def test_completes_without_deadlock(ps):
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+    rep = TimingSimulator(lambda n: NullPolicy(), cfg).run(ps)
+    assert len(rep.per_node_finish) == ps.num_nodes
+
+
+@given(timing_programs())
+@settings(max_examples=30, deadline=None)
+def test_execution_time_lower_bound(ps):
+    """Execution covers at least every node's own work + issue cycles
+    (communication only adds)."""
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+    rep = TimingSimulator(lambda n: NullPolicy(), cfg).run(ps)
+    for node, prog in ps.programs.items():
+        serial = sum(
+            s.work + cfg.hit_cost
+            for s in prog.steps
+            if isinstance(s, Access)
+        )
+        assert rep.per_node_finish[node] >= serial
+
+
+@given(timing_programs())
+@settings(max_examples=30, deadline=None)
+def test_accesses_conserved(ps):
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+    rep = TimingSimulator(lambda n: NullPolicy(), cfg).run(ps)
+    expected = sum(
+        1 for p in ps.programs.values()
+        for s in p.steps if isinstance(s, Access)
+    )
+    assert rep.accesses == expected
+    assert rep.hits + rep.coherence_misses == expected
+
+
+@given(timing_programs())
+@settings(max_examples=30, deadline=None)
+def test_si_accounting_identity_with_ltp(ps):
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+    rep = TimingSimulator(
+        lambda n: PerBlockLTP(confidence=FAST), cfg
+    ).run(ps)
+    s = rep.selfinval
+    assert s.timely_correct + s.late_correct + s.premature + \
+        s.unresolved == s.fired
+    assert s.unresolved >= 0
+
+
+@given(timing_programs())
+@settings(max_examples=20, deadline=None)
+def test_deterministic(ps):
+    cfg = SystemConfig(num_nodes=ps.num_nodes)
+
+    def run():
+        return TimingSimulator(lambda n: NullPolicy(), cfg).run(ps)
+
+    a, b = run(), run()
+    assert a.execution_cycles == b.execution_cycles
+    assert a.directory.messages == b.directory.messages

@@ -1,0 +1,97 @@
+"""Unit tests for workload address-space and code-map helpers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.address_space import (
+    BLOCK_SIZE,
+    AddressSpace,
+    CodeMap,
+)
+
+
+class TestAddressSpace:
+    def test_regions_disjoint(self):
+        space = AddressSpace()
+        a = space.region("a", 10)
+        b = space.region("b", 5)
+        a_blocks = {a.block_addr(i) // BLOCK_SIZE for i in range(10)}
+        b_blocks = {b.block_addr(i) // BLOCK_SIZE for i in range(5)}
+        assert not (a_blocks & b_blocks)
+
+    def test_block_addresses_aligned(self):
+        space = AddressSpace()
+        r = space.region("r", 4)
+        for i in range(4):
+            assert r.block_addr(i) % BLOCK_SIZE == 0
+
+    def test_element_packing(self):
+        space = AddressSpace()
+        r = space.region("r", 4)
+        # two elements per block: elements 0,1 share block 0
+        assert r.element_addr(0, 2) // BLOCK_SIZE == \
+            r.element_addr(1, 2) // BLOCK_SIZE
+        assert r.element_addr(2, 2) // BLOCK_SIZE != \
+            r.element_addr(1, 2) // BLOCK_SIZE
+
+    def test_block_of_matches_element_addr(self):
+        space = AddressSpace()
+        r = space.region("r", 4)
+        for i in range(8):
+            assert r.block_of(i, 2) == r.element_addr(i, 2) // BLOCK_SIZE
+
+    def test_out_of_range_rejected(self):
+        space = AddressSpace()
+        r = space.region("r", 2)
+        with pytest.raises(WorkloadError):
+            r.block_addr(2)
+
+    def test_duplicate_region_rejected(self):
+        space = AddressSpace()
+        space.region("r", 1)
+        with pytest.raises(WorkloadError):
+            space.region("r", 1)
+
+    def test_block_zero_never_allocated(self):
+        space = AddressSpace()
+        r = space.region("r", 1)
+        assert r.block_addr(0) > 0
+
+    def test_total_blocks(self):
+        space = AddressSpace()
+        space.region("a", 3)
+        space.region("b", 4)
+        assert space.total_blocks() == 7
+
+
+class TestCodeMap:
+    def test_stable_within_build(self):
+        code = CodeMap()
+        assert code.pc("loop.load") == code.pc("loop.load")
+
+    def test_distinct_labels_distinct_pcs(self):
+        code = CodeMap()
+        pcs = {code.pc(f"label{i}") for i in range(100)}
+        assert len(pcs) == 100
+
+    def test_stable_across_instances(self):
+        assert CodeMap().pc("x.y") == CodeMap().pc("x.y")
+
+    def test_word_aligned(self):
+        code = CodeMap()
+        for i in range(20):
+            assert code.pc(f"l{i}") % 4 == 0
+
+    def test_low_bit_entropy(self):
+        """PCs must differ within 13 low bits for truncated-addition
+        signatures to work below the base width (Section 5.2)."""
+        code = CodeMap()
+        low13 = {code.pc(f"ins{i}") & 0x1FFF for i in range(50)}
+        assert len(low13) > 40
+
+    def test_labels_export(self):
+        code = CodeMap()
+        code.pc("a")
+        code.pc("b")
+        assert set(code.labels()) == {"a", "b"}
+        assert len(code) == 2

@@ -1,0 +1,109 @@
+"""Unit tests for confidence counters (repro.core.confidence)."""
+
+import pytest
+
+from repro.core.confidence import ConfidenceConfig, CounterTable
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = ConfidenceConfig()
+        assert cfg.bits == 2
+        assert cfg.max_value == 3
+        assert cfg.predict_threshold == 3  # saturated
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bits": 0},
+            {"initial": 4},
+            {"initial": -1},
+            {"predict_threshold": 9},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ConfidenceConfig(**kwargs)
+
+
+class TestLearning:
+    def test_unknown_key_not_confident(self):
+        table = CounterTable(ConfidenceConfig())
+        assert not table.confident("sig")
+
+    def test_learn_inserts_at_initial(self):
+        table = CounterTable(ConfidenceConfig(initial=2))
+        table.learn("sig")
+        assert table.value("sig") == 2
+
+    def test_confidence_requires_saturation(self):
+        table = CounterTable(ConfidenceConfig(initial=2))
+        table.learn("sig")
+        assert not table.confident("sig")
+        table.learn("sig")
+        assert table.value("sig") == 3
+        assert table.confident("sig")
+
+    def test_counter_saturates_at_max(self):
+        table = CounterTable(ConfidenceConfig())
+        for _ in range(10):
+            table.learn("sig")
+        assert table.value("sig") == 3
+
+    def test_strengthen_equivalent_to_learn(self):
+        table = CounterTable(ConfidenceConfig(initial=1))
+        table.strengthen("sig")
+        table.strengthen("sig")
+        assert table.value("sig") == 2
+
+    def test_len_and_contains(self):
+        table = CounterTable(ConfidenceConfig())
+        table.learn("a")
+        table.learn("b")
+        assert len(table) == 2
+        assert "a" in table and "c" not in table
+
+
+class TestPoisoning:
+    def test_weaken_poisons_by_default(self):
+        table = CounterTable(ConfidenceConfig())
+        for _ in range(3):
+            table.learn("sig")
+        assert table.confident("sig")
+        table.weaken("sig")
+        assert not table.confident("sig")
+        assert table.is_poisoned("sig")
+
+    def test_poisoned_never_rearms(self):
+        """The retirement behaviour implied by the paper's <=3%
+        misprediction rates: no amount of confirmation re-saturates."""
+        table = CounterTable(ConfidenceConfig())
+        table.learn("sig")
+        table.weaken("sig")
+        for _ in range(20):
+            table.learn("sig")
+        assert not table.confident("sig")
+
+    def test_plain_counter_can_rearm(self):
+        cfg = ConfidenceConfig(poison_on_premature=False)
+        table = CounterTable(cfg)
+        for _ in range(3):
+            table.learn("sig")
+        table.weaken("sig")
+        assert table.value("sig") == 2
+        table.learn("sig")
+        assert table.confident("sig")
+
+    def test_weaken_unknown_key_is_noop(self):
+        table = CounterTable(ConfidenceConfig(poison_on_premature=False))
+        table.weaken("never-seen")
+        assert "never-seen" not in table
+
+    def test_weaken_floors_at_zero(self):
+        cfg = ConfidenceConfig(poison_on_premature=False, initial=0)
+        table = CounterTable(cfg)
+        table.learn("sig")
+        table.weaken("sig")
+        table.weaken("sig")
+        assert table.value("sig") == 0

@@ -1,0 +1,122 @@
+"""Unit tests for the experiment harnesses and the CLI (at tiny size,
+on a subset of workloads, to stay fast)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table3,
+    table4,
+)
+from repro.experiments.cli import build_parser, main
+from repro.experiments.common import make_policy_factory, workload_list
+
+SUBSET = ["em3d", "tomcatv"]
+
+
+class TestCommon:
+    def test_all_policy_factories_construct(self):
+        for name in ("base", "dsi", "last-pc", "ltp", "ltp-global"):
+            policy = make_policy_factory(name)(0)
+            assert policy.name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy_factory("magic")
+
+    def test_workload_list_default_is_all_nine(self):
+        assert len(workload_list(None)) == 9
+
+    def test_workload_list_validates(self):
+        with pytest.raises(ConfigurationError):
+            workload_list(["em3d", "doom"])
+
+
+class TestFigure6:
+    def test_runs_and_renders(self):
+        res = figure6.run(size="tiny", workloads=SUBSET)
+        text = res.render()
+        assert "em3d" in text and "tomcatv" in text
+        assert "Figure 6" in text
+
+    def test_average_in_unit_interval(self):
+        res = figure6.run(size="tiny", workloads=SUBSET)
+        for policy in ("dsi", "last-pc", "ltp"):
+            assert 0.0 <= res.average(policy) <= 1.0
+
+
+class TestFigure7:
+    def test_width_sweep(self):
+        res = figure7.run(size="tiny", workloads=["em3d"], widths=(30, 6))
+        assert set(res.reports["em3d"]) == {30, 6}
+        assert "Figure 7" in res.render()
+
+
+class TestFigure8:
+    def test_both_organizations_present(self):
+        res = figure8.run(size="tiny", workloads=["tomcatv"])
+        assert "tomcatv" in res.per_block
+        assert "tomcatv" in res.global_table
+        assert "per-block" in res.render()
+
+
+class TestTable3:
+    def test_storage_rows(self):
+        res = table3.run(size="tiny", workloads=SUBSET)
+        for name in SUBSET:
+            per_block, global_tab = res.storage[name]
+            assert per_block.signature_bits == 13
+            assert global_tab.signature_bits == 30
+            assert per_block.entries_per_block > 0
+        assert "Table 3" in res.render()
+
+
+class TestFigure9AndTable4:
+    def test_timing_experiments(self):
+        res9 = figure9.run(size="tiny", workloads=["em3d"])
+        assert res9.speedup("em3d", "ltp") > 0
+        assert "Figure 9" in res9.render()
+        res4 = table4.run(size="tiny", reuse=res9.reports)
+        text = res4.render()
+        assert "Table 4" in text and "em3d" in text
+
+
+class TestAblations:
+    def test_oracle_dominates(self):
+        res = ablations.run(size="tiny", workloads=["em3d"])
+        by = res.reports["em3d"]
+        assert by["oracle"].predicted_fraction >= \
+            by["ltp"].predicted_fraction
+        assert "Ablations" in res.render()
+
+
+class TestCLI:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for cmd in ("fig6", "fig7", "fig8", "fig9", "table3", "table4",
+                    "ablations", "all", "config", "workloads"):
+            args = parser.parse_args(
+                [cmd] if cmd in ("config",) else [cmd]
+            )
+            assert args.command == cmd
+
+    def test_config_command(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "416" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["fig6", "--size", "tiny",
+                     "--workloads", "em3d"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "em3d" in out and "raytrace" in out

@@ -1,0 +1,62 @@
+"""Unit tests for the si-delay, patterns, and stability experiments."""
+
+from repro.experiments import patterns, si_delay, stability
+from repro.experiments.cli import main
+
+
+class TestSiDelay:
+    def test_zero_delay_matches_plain_ltp(self):
+        res = si_delay.run(size="tiny", workloads=["em3d"],
+                           delays=(0, 4000))
+        assert res.speedup("em3d", 0) > 1.0
+
+    def test_speedup_decays_with_delay(self):
+        res = si_delay.run(size="tiny", workloads=["em3d"],
+                           delays=(0, 8000))
+        assert res.speedup("em3d", 8000) <= res.speedup("em3d", 0) + 1e-9
+
+    def test_render(self):
+        res = si_delay.run(size="tiny", workloads=["em3d"], delays=(0,))
+        assert "fire-delay" in res.render()
+
+
+class TestPatterns:
+    def test_census_runs_for_all(self):
+        res = patterns.run(size="tiny")
+        assert len(res.censuses) == 9
+        text = res.render()
+        assert "producer-consumer" in text
+
+    def test_every_workload_has_blocks(self):
+        res = patterns.run(size="tiny", workloads=["em3d", "moldyn"])
+        for c in res.censuses.values():
+            assert c.total_blocks > 0
+
+
+class TestStability:
+    def test_spread_is_small(self):
+        res = stability.run(size="tiny", workloads=["em3d"],
+                            seeds=(1, 2, 3))
+        # em3d's structure is seed-independent: spread ~ 0
+        assert res.stdev("em3d") < 0.02
+
+    def test_randomized_workload_still_stable(self):
+        res = stability.run(size="tiny", workloads=["unstructured"],
+                            seeds=(1, 2, 3))
+        assert res.stdev("unstructured") < 0.15
+        assert 0.0 < res.mean("unstructured") <= 1.0
+
+    def test_render(self):
+        res = stability.run(size="tiny", workloads=["em3d"], seeds=(1, 2))
+        assert "seeds" in res.render()
+
+
+class TestCLIRegistration:
+    def test_new_commands_run(self, capsys):
+        for cmd in ("patterns",):
+            assert main([cmd, "--size", "tiny",
+                         "--workloads", "em3d"]) == 0
+        assert main(["si-delay", "--size", "tiny",
+                     "--workloads", "em3d"]) == 0
+        out = capsys.readouterr().out
+        assert "fire-delay" in out

@@ -1,0 +1,94 @@
+"""Unit tests for the program step language (repro.trace.program)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.program import (
+    Access,
+    Barrier,
+    LockAcquire,
+    LockRelease,
+    Program,
+    ProgramSet,
+)
+
+
+def _two_node_set(steps0, steps1):
+    p0, p1 = Program(0), Program(1)
+    p0.extend(steps0)
+    p1.extend(steps1)
+    return ProgramSet("t", 2, {0: p0, 1: p1})
+
+
+class TestProgramSet:
+    def test_missing_node_rejected(self):
+        with pytest.raises(WorkloadError):
+            ProgramSet("t", 2, {0: Program(0)})
+
+    def test_extra_node_rejected(self):
+        with pytest.raises(WorkloadError):
+            ProgramSet(
+                "t", 1, {0: Program(0), 1: Program(1)}
+            )
+
+    def test_barrier_count_mismatch_rejected(self):
+        ps = _two_node_set([Barrier(1)], [])
+        with pytest.raises(WorkloadError):
+            ps.validate()
+
+    def test_matched_barriers_accepted(self):
+        ps = _two_node_set([Barrier(1)], [Barrier(1)])
+        ps.validate()
+
+    def test_release_without_acquire_rejected(self):
+        ps = _two_node_set(
+            [LockRelease(1, 0x100, 0x10)], []
+        )
+        with pytest.raises(WorkloadError):
+            ps.validate()
+
+    def test_unreleased_lock_rejected(self):
+        ps = _two_node_set(
+            [LockAcquire(1, 0x100, 0x10, 0x14)], []
+        )
+        with pytest.raises(WorkloadError):
+            ps.validate()
+
+    def test_reacquire_held_lock_rejected(self):
+        ps = _two_node_set(
+            [
+                LockAcquire(1, 0x100, 0x10, 0x14),
+                LockAcquire(1, 0x100, 0x10, 0x14),
+            ],
+            [],
+        )
+        with pytest.raises(WorkloadError):
+            ps.validate()
+
+    def test_balanced_lock_pair_accepted(self):
+        ps = _two_node_set(
+            [
+                LockAcquire(1, 0x100, 0x10, 0x14),
+                Access(0x20, 0x200, True),
+                LockRelease(1, 0x100, 0x18),
+            ],
+            [],
+        )
+        ps.validate()
+
+    def test_total_steps(self):
+        ps = _two_node_set(
+            [Access(0x1, 0x20, False)], [Access(0x2, 0x40, True)]
+        )
+        assert ps.total_steps() == 2
+
+
+class TestProgram:
+    def test_append_and_len(self):
+        p = Program(0)
+        p.append(Access(0x1, 0x20, False))
+        assert len(p) == 1
+
+    def test_access_defaults(self):
+        a = Access(0x1, 0x20, False)
+        assert a.work == 0

@@ -1,0 +1,31 @@
+"""Unit tests for the full-report generator and its CLI command."""
+
+from repro.experiments import report
+from repro.experiments.cli import main
+
+
+class TestReport:
+    def test_selected_sections_only(self):
+        doc = report.run(size="tiny", workloads=["em3d"],
+                         sections=["figure6", "patterns"])
+        assert set(doc.sections) == {"figure6", "patterns"}
+        text = doc.render()
+        assert "## figure6" in text
+        assert "Paper: DSI 47%" in text
+        assert "## figure9" not in text
+
+    def test_runtimes_recorded(self):
+        doc = report.run(size="tiny", workloads=["em3d"],
+                         sections=["figure6"])
+        assert doc.runtimes["figure6"] >= 0.0
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main([
+            "report", "--size", "tiny", "--workloads", "em3d",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("# Full evaluation report")
+        assert "figure6" in text

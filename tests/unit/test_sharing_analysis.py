@@ -1,0 +1,106 @@
+"""Unit tests for the sharing-pattern classifier and census."""
+
+from repro.analysis.sharing import (
+    SharingPattern,
+    census,
+    classify_stream,
+)
+from repro.trace.events import MemoryAccess
+from repro.trace.scheduler import interleave
+from repro.workloads import get_workload
+
+
+def acc(node, block, is_write):
+    return MemoryAccess(node, 0x10, block * 32, is_write)
+
+
+class TestClassifier:
+    def test_private_block(self):
+        stream = [acc(0, 1, True), acc(0, 1, False), acc(0, 1, True)]
+        assert classify_stream(stream)[1] is SharingPattern.PRIVATE
+
+    def test_read_only_block(self):
+        stream = [acc(0, 1, False), acc(1, 1, False), acc(2, 1, False)]
+        assert classify_stream(stream)[1] is SharingPattern.READ_ONLY
+
+    def test_producer_consumer(self):
+        stream = [
+            acc(0, 1, True), acc(1, 1, False), acc(2, 1, False),
+            acc(0, 1, True), acc(1, 1, False),
+        ]
+        assert classify_stream(stream)[1] is \
+            SharingPattern.PRODUCER_CONSUMER
+
+    def test_migratory(self):
+        stream = []
+        for node in (0, 1, 2, 0, 1, 2):
+            stream.append(acc(node, 1, False))
+            stream.append(acc(node, 1, True))
+        assert classify_stream(stream)[1] is SharingPattern.MIGRATORY
+
+    def test_wide_shared(self):
+        stream = []
+        for writer in (0, 1):
+            stream.append(acc(writer, 1, True))
+            for reader in (2, 3, 4):
+                stream.append(acc(reader, 1, False))
+        assert classify_stream(stream)[1] is SharingPattern.WIDE_SHARED
+
+    def test_blocks_classified_independently(self):
+        stream = [acc(0, 1, True), acc(1, 1, False), acc(0, 2, True)]
+        out = classify_stream(stream)
+        assert out[1] is SharingPattern.PRODUCER_CONSUMER
+        assert out[2] is SharingPattern.PRIVATE
+
+
+class TestCensus:
+    def test_counts_and_fractions(self):
+        stream = [
+            acc(0, 1, True), acc(1, 1, False),   # producer-consumer
+            acc(0, 2, False), acc(1, 2, False),  # read-only
+        ]
+        c = census(stream)
+        assert c.total_blocks == 2
+        assert c.fraction(SharingPattern.PRODUCER_CONSUMER) == 0.5
+        assert "blocks=2" in c.summary()
+
+    def test_empty_census(self):
+        c = census([])
+        assert c.total_blocks == 0
+        assert c.fraction(SharingPattern.MIGRATORY) == 0.0
+
+
+class TestWorkloadAudit:
+    """The DESIGN.md substitution argument, checked mechanically: each
+    workload's dominant sharing structure matches the paper's
+    description of the original benchmark."""
+
+    def _census(self, name):
+        ps = get_workload(name, "small").build()
+        return census(interleave(ps))
+
+    def test_em3d_is_producer_consumer(self):
+        c = self._census("em3d")
+        assert c.fraction(SharingPattern.PRODUCER_CONSUMER) > 0.5
+        assert c.fraction(SharingPattern.MIGRATORY) < 0.1
+
+    def test_unstructured_has_migratory_mass(self):
+        c = self._census("unstructured")
+        migratory = (
+            c.fraction(SharingPattern.MIGRATORY)
+            + c.fraction(SharingPattern.WIDE_SHARED)
+        )
+        assert migratory > 0.3
+
+    def test_tomcatv_boundary_is_producer_consumer(self):
+        c = self._census("tomcatv")
+        assert c.dominant() in (
+            SharingPattern.PRODUCER_CONSUMER, SharingPattern.PRIVATE
+        )
+
+    def test_barnes_tree_is_write_shared(self):
+        c = self._census("barnes")
+        assert (
+            c.fraction(SharingPattern.MIGRATORY)
+            + c.fraction(SharingPattern.WIDE_SHARED)
+        ) > 0.4

@@ -1,0 +1,53 @@
+"""Engine-level tests for the delayed self-invalidation knob."""
+
+import pytest
+
+from repro.core import PerBlockLTP
+from repro.core.confidence import ConfidenceConfig
+from repro.errors import SimulationError
+from repro.timing import SystemConfig, TimingSimulator
+from tests.conftest import producer_consumer
+
+FAST = ConfidenceConfig(initial=3, predict_threshold=3)
+
+
+class TestSiFireDelay:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            TimingSimulator(lambda n: PerBlockLTP(), si_fire_delay=-1)
+
+    def test_zero_delay_identical_to_default(self):
+        ps = producer_consumer(iterations=12)
+        a = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST), si_fire_delay=0
+        ).run(ps)
+        b = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST)
+        ).run(ps)
+        assert a.execution_cycles == b.execution_cycles
+        assert a.selfinval.fired == b.selfinval.fired
+
+    def test_huge_delay_suppresses_firing(self):
+        """With the issue delayed past the consumer's arrival, the copy
+        is externally invalidated first and the SI is dropped at issue
+        time — fired count collapses toward zero."""
+        ps = producer_consumer(iterations=12)
+        prompt = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST)
+        ).run(ps)
+        delayed = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST),
+            si_fire_delay=50_000,
+        ).run(ps)
+        assert delayed.selfinval.fired < prompt.selfinval.fired
+
+    def test_delay_never_breaks_accounting(self):
+        ps = producer_consumer(iterations=12)
+        rep = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST),
+            config=SystemConfig(num_nodes=2),
+            si_fire_delay=700,
+        ).run(ps)
+        s = rep.selfinval
+        assert s.timely_correct + s.late_correct + s.premature + \
+            s.unresolved == s.fired

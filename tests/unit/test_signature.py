@@ -1,0 +1,112 @@
+"""Unit tests for trace signature encoders (repro.core.signature)."""
+
+import pytest
+
+from repro.core.signature import (
+    BASE_SIGNATURE_BITS,
+    LastPCEncoder,
+    TruncatedAddEncoder,
+    XorRotateEncoder,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTruncatedAdd:
+    def test_init_masks_pc(self):
+        enc = TruncatedAddEncoder(8)
+        assert enc.init(0x1234) == 0x34
+
+    def test_update_is_truncated_sum(self):
+        enc = TruncatedAddEncoder(16)
+        sig = enc.init(0x1000)
+        sig = enc.update(sig, 0x2000)
+        assert sig == 0x3000
+
+    def test_wraps_at_width(self):
+        enc = TruncatedAddEncoder(8)
+        sig = enc.init(0xF0)
+        assert enc.update(sig, 0x20) == 0x10
+
+    def test_encode_trace_equals_manual_fold(self):
+        enc = TruncatedAddEncoder(13)
+        pcs = [0x4400, 0x5124, 0x4400, 0x61A8]
+        sig = enc.init(pcs[0])
+        for pc in pcs[1:]:
+            sig = enc.update(sig, pc)
+        assert enc.encode_trace(pcs) == sig
+
+    def test_repetition_counts_distinguish_traces(self):
+        """{pc} vs {pc, pc}: the loop double-touch of Figure 3(c)."""
+        enc = TruncatedAddEncoder(30)
+        assert enc.encode_trace([0x4000]) != enc.encode_trace(
+            [0x4000, 0x4000]
+        )
+
+    def test_distinct_sets_distinct_signatures(self):
+        enc = TruncatedAddEncoder(30)
+        a = enc.encode_trace([0x1000, 0x2000])
+        b = enc.encode_trace([0x1000, 0x2004])
+        assert a != b
+
+    def test_order_insensitive(self):
+        """Truncated addition encodes the multiset, not the order."""
+        enc = TruncatedAddEncoder(30)
+        assert enc.encode_trace([0x10, 0x20, 0x30]) == enc.encode_trace(
+            [0x30, 0x10, 0x20]
+        )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedAddEncoder(30).encode_trace([])
+
+    def test_base_width_is_30(self):
+        assert BASE_SIGNATURE_BITS == 30
+        assert TruncatedAddEncoder().bits == 30
+
+    def test_subtrace_prefix_property(self):
+        """A prefix's signature is the running value mid-trace — the
+        root cause of subtrace aliasing (Section 3.1)."""
+        enc = TruncatedAddEncoder(30)
+        short = [0x100, 0x200]
+        long = short + [0x300]
+        running = enc.init(long[0])
+        running = enc.update(running, long[1])
+        assert running == enc.encode_trace(short)
+
+
+class TestLastPC:
+    def test_signature_is_latest_pc(self):
+        enc = LastPCEncoder(30)
+        sig = enc.init(0x100)
+        sig = enc.update(sig, 0x200)
+        assert sig == 0x200
+
+    def test_trace_encoding_keeps_only_final_pc(self):
+        enc = LastPCEncoder(30)
+        assert enc.encode_trace([0x1, 0x2, 0x3]) == 0x3
+
+
+class TestXorRotate:
+    def test_order_sensitive(self):
+        enc = XorRotateEncoder(16)
+        assert enc.encode_trace([0x12, 0x34]) != enc.encode_trace(
+            [0x34, 0x12]
+        )
+
+    def test_stays_within_mask(self):
+        enc = XorRotateEncoder(8)
+        sig = enc.init(0xFFFF)
+        for pc in (0x1234, 0xFFFF, 0x8001):
+            sig = enc.update(sig, pc)
+            assert 0 <= sig <= 0xFF
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bits", [0, -3, 65])
+    def test_bad_widths_rejected(self, bits):
+        with pytest.raises(ConfigurationError):
+            TruncatedAddEncoder(bits)
+
+    @pytest.mark.parametrize("bits", [1, 6, 13, 30, 64])
+    def test_good_widths_accepted(self, bits):
+        assert TruncatedAddEncoder(bits).mask == (1 << bits) - 1

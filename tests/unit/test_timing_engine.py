@@ -1,0 +1,181 @@
+"""Unit tests for the end-to-end timing simulator (repro.timing.engine)."""
+
+import pytest
+
+from repro.core import NullPolicy, PerBlockLTP
+from repro.core.confidence import ConfidenceConfig
+from repro.timing import SystemConfig, TimingSimulator
+from repro.trace.program import (
+    Access,
+    Barrier,
+    LockAcquire,
+    LockRelease,
+    Program,
+    ProgramSet,
+)
+
+FAST = ConfidenceConfig(initial=3, predict_threshold=3)
+CFG = SystemConfig(num_nodes=2)
+
+
+def _ps(progs, n=2, name="t"):
+    return ProgramSet(name, n, {i: p for i, p in enumerate(progs)})
+
+
+def run_base(ps, cfg=CFG):
+    return TimingSimulator(lambda n: NullPolicy(), cfg).run(ps)
+
+
+class TestLatencies:
+    def test_clean_miss_costs_one_round_trip(self):
+        p0, p1 = Program(0), Program(1)
+        p0.append(Access(0x10, 0x1000, False))
+        rep = run_base(_ps([p0, p1]))
+        # 1 cycle issue + 416-cycle round trip, no queueing
+        assert rep.execution_cycles == pytest.approx(1 + 416)
+
+    def test_hits_cost_hit_cycles(self):
+        p0, p1 = Program(0), Program(1)
+        p0.append(Access(0x10, 0x1000, False))
+        for _ in range(10):
+            p0.append(Access(0x14, 0x1000, False))
+        rep = run_base(_ps([p0, p1]))
+        assert rep.hits == 10
+        assert rep.execution_cycles == pytest.approx(1 + 416 + 10)
+
+    def test_work_cycles_accrue(self):
+        p0, p1 = Program(0), Program(1)
+        p0.append(Access(0x10, 0x1000, False, work=500))
+        rep = run_base(_ps([p0, p1]))
+        assert rep.execution_cycles == pytest.approx(501 + 416)
+
+    def test_three_hop_dearer_than_two_hop(self):
+        # 2-hop: node 1 reads an idle block.
+        p0, p1 = Program(0), Program(1)
+        p1.append(Access(0x10, 0x1000, False))
+        two_hop = run_base(_ps([p0, p1])).execution_cycles
+        # 3-hop: node 0 writes first, then node 1 reads (owner fetch).
+        p0, p1 = Program(0), Program(1)
+        p0.append(Access(0x20, 0x1000, True))
+        p0.append(Barrier(1))
+        p1.append(Barrier(1))
+        p1.append(Access(0x10, 0x1000, False))
+        three_hop = run_base(_ps([p0, p1])).execution_cycles
+        assert three_hop > two_hop + 160  # at least two extra hops
+
+    def test_external_invalidations_counted(self):
+        p0, p1 = Program(0), Program(1)
+        p0.append(Access(0x20, 0x1000, True))
+        p0.append(Barrier(1))
+        p1.append(Barrier(1))
+        p1.append(Access(0x10, 0x1000, False))
+        rep = run_base(_ps([p0, p1]))
+        assert rep.external_invalidations == 1
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_clocks(self):
+        p0, p1 = Program(0), Program(1)
+        p0.append(Access(0x10, 0x1000, False, work=5000))
+        p0.append(Barrier(1))
+        p1.append(Barrier(1))
+        p1.append(Access(0x20, 0x2000, False))
+        rep = run_base(_ps([p0, p1]))
+        # node 1's access starts only after node 0's long phase
+        assert rep.per_node_finish[1] > 5000
+
+    def test_all_nodes_finish(self):
+        progs = [Program(i) for i in range(4)]
+        for p in progs:
+            p.append(Barrier(1))
+            p.append(Barrier(2))
+        rep = run_base(_ps(progs, n=4), SystemConfig(num_nodes=4))
+        assert len(rep.per_node_finish) == 4
+
+
+class TestLocksTiming:
+    def _lock_program(self, node, spins=1):
+        p = Program(node)
+        p.append(LockAcquire(1, 0x5000, 0x10, 0x14, fixed_spins=spins))
+        p.append(Access(0x20, 0x6000, True, work=100))
+        p.append(LockRelease(1, 0x5000, 0x18))
+        return p
+
+    def test_critical_sections_serialize(self):
+        ps = _ps([self._lock_program(0), self._lock_program(1)])
+        rep = run_base(ps)
+        solo = run_base(
+            _ps([self._lock_program(0), Program(1)])
+        ).execution_cycles
+        # two serialized critical sections take meaningfully longer
+        assert rep.execution_cycles > solo * 1.5
+
+    def test_lock_traffic_visible_in_stats(self):
+        ps = _ps([self._lock_program(0), self._lock_program(1)])
+        rep = run_base(ps)
+        # spin read + test&set + CS write + unlock per node, minus hits
+        assert rep.accesses == 8
+
+
+class TestSelfInvalidationTiming:
+    def _producer_consumer(self, iters=8):
+        p0, p1 = Program(0), Program(1)
+        bid = 0
+        for _ in range(iters):
+            p0.append(Access(0x100, 0x1000, True))
+            bid += 1
+            p0.append(Barrier(bid))
+            p1.append(Barrier(bid))
+            p1.append(Access(0x200, 0x1000, False))
+            bid += 1
+            p0.append(Barrier(bid))
+            p1.append(Barrier(bid))
+        return _ps([p0, p1], name="pc")
+
+    def test_ltp_fires_and_is_timely(self):
+        ps = self._producer_consumer()
+        rep = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST), CFG
+        ).run(ps)
+        assert rep.selfinval.fired > 0
+        assert rep.selfinval.timely_correct > 0
+        assert rep.selfinval.timeliness > 0.8
+
+    def test_ltp_speeds_up_producer_consumer(self):
+        ps = self._producer_consumer(iters=12)
+        base = run_base(ps)
+        ltp = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST), CFG
+        ).run(ps)
+        assert ltp.speedup_over(base) > 1.02
+
+    def test_si_eliminates_invalidations(self):
+        ps = self._producer_consumer(iters=12)
+        base = run_base(ps)
+        ltp = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST), CFG
+        ).run(ps)
+        assert ltp.external_invalidations < base.external_invalidations
+
+    def test_storage_attached(self):
+        ps = self._producer_consumer()
+        rep = TimingSimulator(
+            lambda n: PerBlockLTP(confidence=FAST), CFG
+        ).run(ps)
+        assert rep.storage is not None
+        assert rep.storage.tracked_blocks > 0
+
+
+class TestNodeCountAdaptation:
+    def test_config_adapts_to_programs(self):
+        """A 32-node default config runs a 2-node program set."""
+        p0, p1 = Program(0), Program(1)
+        p0.append(Access(0x10, 0x1000, False))
+        rep = TimingSimulator(lambda n: NullPolicy()).run(_ps([p0, p1]))
+        assert len(rep.per_node_finish) == 2
+
+    def test_report_policy_name(self):
+        p0, p1 = Program(0), Program(1)
+        rep = TimingSimulator(lambda n: NullPolicy()).run(_ps([p0, p1]))
+        assert rep.policy == "base"
+        assert rep.summary()

@@ -1,0 +1,85 @@
+"""Unit tests for the trace inspector (repro.analysis.traces)."""
+
+from repro.analysis.traces import (
+    extract_traces,
+    format_trace,
+    trace_digest,
+)
+from repro.trace.scheduler import interleave
+from repro.workloads import get_workload
+from tests.conftest import migratory_rmw, producer_consumer
+
+
+class TestExtraction:
+    def test_producer_consumer_traces(self):
+        ps = producer_consumer(iterations=4, writes_per_iter=2)
+        out = extract_traces(interleave(ps), ps.num_nodes)
+        block = 0x100 * 32 >> 5
+        producer = out[(0, block)]
+        # writer's trace: the two store PCs, repeated per iteration;
+        # every one completes (the consumer's read invalidates even the
+        # final write under the migratory-favouring protocol)
+        assert len(producer.traces) == 4
+        assert all(t == (0x100, 0x104) for t in producer.traces)
+
+    def test_consumer_single_touch(self):
+        ps = producer_consumer(iterations=4)
+        out = extract_traces(interleave(ps), ps.num_nodes)
+        block = 0x100 * 32 >> 5
+        consumer = out[(1, block)]
+        assert all(len(t) == 1 for t in consumer.traces)
+        assert not consumer.last_pc_ambiguous
+        assert consumer.max_pc_repetition == 1
+
+    def test_migratory_traces(self):
+        ps = migratory_rmw(iterations=4, nodes=2)
+        out = extract_traces(interleave(ps), ps.num_nodes)
+        block = 0x200 * 32 >> 5
+        tr = out[(0, block)]
+        assert all(t == (0x300, 0x304) for t in tr.traces)
+
+    def test_unfinished_traces_optional(self):
+        ps = producer_consumer(iterations=2)
+        without = extract_traces(interleave(ps), ps.num_nodes)
+        with_open = extract_traces(
+            interleave(ps), ps.num_nodes, include_unfinished=True
+        )
+        total_without = sum(
+            len(s.traces) for s in without.values()
+        )
+        total_with = sum(len(s.traces) for s in with_open.values())
+        assert total_with > total_without
+
+    def test_last_pc_ambiguity_detection(self):
+        """tomcatv's double-touch traces must flag the ambiguity."""
+        ps = get_workload("tomcatv", "tiny").build()
+        out = extract_traces(interleave(ps), ps.num_nodes)
+        assert any(s.last_pc_ambiguous for s in out.values())
+
+    def test_em3d_traces_are_single_touch(self):
+        ps = get_workload("em3d", "tiny").build()
+        out = extract_traces(interleave(ps), ps.num_nodes)
+        shared = [
+            s for s in out.values() if s.traces
+        ]
+        single = sum(
+            1 for s in shared
+            if all(len(t) == 1 for t in s.traces)
+        )
+        assert single / len(shared) > 0.9
+
+
+class TestRendering:
+    def test_format_trace_hex(self):
+        assert format_trace((0x10, 0x20)) == "{0x10, 0x20}"
+
+    def test_format_trace_labels(self):
+        labels = {0x10: "sweep.load"}
+        assert format_trace((0x10, 0x20), labels) == \
+            "{sweep.load, 0x20}"
+
+    def test_digest(self):
+        ps = producer_consumer(iterations=5)
+        out = extract_traces(interleave(ps), ps.num_nodes)
+        text = trace_digest(out)
+        assert "traces" in text and "distinct" in text

@@ -1,0 +1,182 @@
+"""Unit tests for the nine workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.events import MemoryAccess
+from repro.trace.scheduler import interleave
+from repro.trace.stats import collect_stream_stats
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.base import Workload, WorkloadParams
+
+
+class TestRegistry:
+    def test_all_nine_benchmarks_present(self):
+        assert len(WORKLOAD_NAMES) == 9
+        assert set(WORKLOAD_NAMES) == {
+            "appbt", "barnes", "dsmc", "em3d", "moldyn",
+            "ocean", "raytrace", "tomcatv", "unstructured",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("spice")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("em3d", size="huge")
+
+    def test_overrides_apply(self):
+        wl = get_workload("em3d", "tiny", num_nodes=6, seed=9)
+        assert wl.params.num_nodes == 6
+        assert wl.params.seed == 9
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEveryWorkload:
+    def test_builds_and_validates(self, name):
+        ps = get_workload(name, "tiny").build()
+        ps.validate()
+        assert ps.name == name
+        assert ps.num_nodes >= 2
+
+    def test_produces_shared_traffic(self, name):
+        ps = get_workload(name, "tiny").build()
+        stats = collect_stream_stats(interleave(ps))
+        assert stats.accesses > 0
+        assert stats.actively_shared_blocks() > 0
+        assert 0.0 < stats.write_fraction < 1.0
+
+    def test_deterministic_for_same_seed(self, name):
+        def fingerprint():
+            ps = get_workload(name, "tiny", seed=5).build()
+            return [
+                (e.node, e.pc, e.address, e.is_write)
+                for e in interleave(ps)
+                if isinstance(e, MemoryAccess)
+            ]
+
+        assert fingerprint() == fingerprint()
+
+    def test_scales_with_size(self, name):
+        tiny = get_workload(name, "tiny").build().total_steps()
+        small = get_workload(name, "small").build().total_steps()
+        assert small > tiny
+
+
+class TestSeedSensitivity:
+    @pytest.mark.parametrize("name", ["barnes", "unstructured", "moldyn"])
+    def test_randomized_structure_changes_with_seed(self, name):
+        def fingerprint(seed):
+            ps = get_workload(name, "tiny", seed=seed).build()
+            return [
+                (e.node, e.pc, e.address)
+                for e in interleave(ps)
+                if isinstance(e, MemoryAccess)
+            ]
+
+        assert fingerprint(1) != fingerprint(2)
+
+
+class TestBaseClassValidation:
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("em3d", "tiny", num_nodes=1)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("em3d", "tiny", iterations=0)
+
+    def test_partition_balanced(self):
+        parts = Workload.partition(10, 3)
+        sizes = [len(r) for r in parts]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_scaled_respects_minimum(self):
+        params = WorkloadParams(scale=0.001)
+        assert params.scaled(10, minimum=2) == 2
+
+
+class TestStructuralSignatures:
+    """Cheap checks that each workload exhibits the structural property
+    its Section-5 behaviour depends on."""
+
+    def test_em3d_boundary_blocks_touched_once_per_consumer(self):
+        ps = get_workload("em3d", "tiny").build()
+        # producers write without reading: every boundary write is by
+        # the block's owner and there are no owner reads of own blocks
+        reads_by_writer = 0
+        writers = {}
+        for e in interleave(ps):
+            if not isinstance(e, MemoryAccess):
+                continue
+            if e.is_write:
+                writers[e.address] = e.node
+            elif writers.get(e.address) == e.node:
+                reads_by_writer += 1
+        assert reads_by_writer == 0
+
+    def test_tomcatv_packs_two_elements_per_block(self):
+        from repro.trace.program import Access
+
+        ps = get_workload("tomcatv", "tiny").build()
+        # some block must be read twice in a row by the same static
+        # instruction within one node's program (the packed elements)
+        double = False
+        for prog in ps.programs.values():
+            prev = None
+            for s in prog.steps:
+                if not isinstance(s, Access):
+                    prev = None
+                    continue
+                key = (s.pc, s.address, s.is_write)
+                if prev == key and not s.is_write:
+                    double = True
+                prev = key
+        assert double
+
+    def test_raytrace_single_global_lock(self):
+        from repro.trace.program import LockAcquire
+
+        ps = get_workload("raytrace", "tiny").build()
+        lock_ids = {
+            s.lock_id
+            for p in ps.programs.values()
+            for s in p.steps
+            if isinstance(s, LockAcquire)
+        }
+        assert lock_ids == {0}
+
+    def test_appbt_locks_have_fixed_spins(self):
+        from repro.trace.program import LockAcquire
+
+        ps = get_workload("appbt", "tiny").build()
+        spins = {
+            s.fixed_spins
+            for p in ps.programs.values()
+            for s in p.steps
+            if isinstance(s, LockAcquire)
+        }
+        assert None not in spins
+
+    def test_barnes_traces_change_across_iterations(self):
+        """The octree mutation: the set of (pc, block) store pairs in
+        the first iteration differs from the second."""
+        ps = get_workload("barnes", "tiny").build()
+        prog = ps.programs[0]
+        from repro.trace.program import Access
+        from repro.trace.program import Barrier as B
+
+        per_iter, current = [], set()
+        barriers = 0
+        for s in prog.steps:
+            if isinstance(s, B):
+                barriers += 1
+                if barriers % 3 == 0:  # 3 barriers per iteration
+                    per_iter.append(current)
+                    current = set()
+            elif isinstance(s, Access) and s.is_write:
+                current.add((s.pc, s.address))
+        assert len(per_iter) >= 2
+        assert per_iter[0] != per_iter[1]
