@@ -5,11 +5,39 @@ measurement round (``pedantic`` with a single round — the experiments
 are deterministic, so repeated rounds only measure interpreter noise)
 and saves the rendered output under ``benchmarks/results/`` so the
 regenerated numbers are inspectable after a run.
+
+In addition, :func:`pytest_sessionfinish` writes one machine-readable
+``BENCH_<test>.json`` per benchmark in the stable ``ltp-repro-bench/1``
+schema, so CI can archive them as artifacts and diff the performance
+trajectory across PRs::
+
+    {
+      "schema": "ltp-repro-bench/1",
+      "name": "test_figure9",
+      "fullname": "benchmarks/bench_figure9.py::test_figure9",
+      "group": null,
+      "timestamp": 1753869000.0,       # unix seconds, end of session
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "rounds": 1,
+      "stats_s": {"mean": 12.3, "min": 12.3, "max": 12.3, "stddev": 0.0},
+      "extra_info": {"ltp_geomean_speedup": 1.11, ...}
+    }
+
+Schema rules: additions are allowed (new keys), existing keys are
+never renamed or retyped; a breaking change bumps the ``schema``
+string.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+import re
+import time
+
+BENCH_SCHEMA = "ltp-repro-bench/1"
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -18,3 +46,44 @@ def save_rendered(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def _bench_record(bench, now: float) -> dict:
+    # pytest-benchmark's Metadata.stats is the Stats object directly in
+    # some versions and wraps it in others
+    stats = getattr(bench.stats, "stats", bench.stats)
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": bench.name,
+        "fullname": bench.fullname,
+        "group": bench.group,
+        "timestamp": now,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": stats.rounds,
+        "stats_s": {
+            "mean": stats.mean,
+            "min": stats.min,
+            "max": stats.max,
+            "stddev": stats.stddev if stats.rounds > 1 else 0.0,
+        },
+        "extra_info": dict(bench.extra_info),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Emit BENCH_<test>.json for every benchmark measured this run."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    now = time.time()
+    for bench in bench_session.benchmarks:
+        if bench.stats is None:
+            continue
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", bench.name)
+        path = RESULTS_DIR / f"BENCH_{safe}.json"
+        path.write_text(
+            json.dumps(_bench_record(bench, now), indent=2, sort_keys=True)
+            + "\n"
+        )

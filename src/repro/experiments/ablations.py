@@ -18,20 +18,37 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.formatting import format_table
-from repro.core import (
-    ConfidenceConfig,
-    PerBlockLTP,
-    TruncatedAddEncoder,
-    XorRotateEncoder,
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import (
+    JobSpec,
+    PolicySpec,
+    Runner,
+    accuracy_job,
+    oracle_job,
 )
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_accuracy,
-    workload_list,
-)
-from repro.sim import AccuracySimulator
 from repro.sim.results import AccuracyReport
+
+#: variant name -> PolicySpec (None marks the oracle, which is a run
+#: kind rather than a policy). "trunc-13" is spelled as a plain 13-bit
+#: LTP so it shares its runs with Figure 8 and Table 3.
+VARIANT_POLICIES = {
+    "ltp": PolicySpec(name="ltp"),
+    "oracle": None,
+    "eager-conf": PolicySpec(
+        name="ltp",
+        confidence={"initial": 2, "predict_threshold": 2},
+    ),
+    "no-poison": PolicySpec(
+        name="ltp", confidence={"poison_on_premature": False}
+    ),
+    "xor-rotate": PolicySpec(name="ltp", encoder="xor-rotate"),
+    "trunc-13": PolicySpec(name="ltp", bits=13),
+    # finite hardware: capped signature entries per block
+    # (direct-mapped / 2-way tables, Section 3.3) — blocks needing
+    # several signatures thrash
+    "cap-1": PolicySpec(name="ltp", entries_per_block=1),
+    "cap-2": PolicySpec(name="ltp", entries_per_block=2),
+}
 
 
 @dataclass
@@ -68,47 +85,37 @@ class AblationResult:
         )
 
 
-def _capacity_factory(entries_per_block: int):
-    return lambda node: PerBlockLTP(entries_per_block=entries_per_block)
+def _grid(size, names):
+    grid = {}
+    for workload in names:
+        for variant, policy in VARIANT_POLICIES.items():
+            if policy is None:
+                grid[workload, variant] = oracle_job(workload, size)
+            else:
+                grid[workload, variant] = accuracy_job(
+                    workload, size, policy
+                )
+    return grid
+
+
+def jobs(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> "list[JobSpec]":
+    return list(_grid(size, workload_list(workloads)).values())
 
 
 def run(
-    size: str = "small", workloads: Optional[Iterable[str]] = None
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> AblationResult:
-    variants = {
-        "ltp": lambda: make_policy_factory("ltp"),
-        "oracle": None,  # handled specially below
-        "eager-conf": lambda: make_policy_factory(
-            "ltp",
-            confidence=ConfidenceConfig(initial=2, predict_threshold=2),
-        ),
-        "no-poison": lambda: make_policy_factory(
-            "ltp",
-            confidence=ConfidenceConfig(poison_on_premature=False),
-        ),
-        "xor-rotate": lambda: make_policy_factory(
-            "ltp", encoder=XorRotateEncoder(30)
-        ),
-        "trunc-13": lambda: make_policy_factory(
-            "ltp", encoder=TruncatedAddEncoder(13)
-        ),
-        # finite hardware: capped signature entries per block
-        # (direct-mapped / 2-way tables, Section 3.3) — blocks needing
-        # several signatures thrash
-        "cap-1": lambda: _capacity_factory(1),
-        "cap-2": lambda: _capacity_factory(2),
-    }
-    result = AblationResult(size=size, variants=list(variants))
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
-        by_variant: Dict[str, AccuracyReport] = {}
-        for variant, factory_maker in variants.items():
-            if variant == "oracle":
-                sim = AccuracySimulator(make_policy_factory("base"))
-                by_variant[variant] = sim.run_oracle(programs)
-            else:
-                by_variant[variant] = run_accuracy(
-                    programs, factory_maker()
-                )
-        result.reports[workload] = by_variant
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    reports = use_runner(runner).run(grid.values())
+    result = AblationResult(size=size, variants=list(VARIANT_POLICIES))
+    for workload in names:
+        result.reports[workload] = {
+            variant: reports[grid[workload, variant]]
+            for variant in VARIANT_POLICIES
+        }
     return result

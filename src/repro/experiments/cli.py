@@ -5,7 +5,14 @@ Examples::
     ltp-repro fig6
     ltp-repro fig9 --size small --workloads em3d tomcatv
     ltp-repro all --size tiny
+    ltp-repro run-all --size small --jobs 8 --cache-dir .repro-cache
     python -m repro.experiments.cli table3
+
+Every experiment subcommand accepts ``--jobs N`` (worker processes)
+and ``--cache-dir PATH`` (content-addressed result cache); ``run-all``
+executes the entire paper grid through one shared runner so the
+overlapping simulations across experiments run exactly once and repeat
+invocations are served from the cache.
 """
 
 from __future__ import annotations
@@ -33,27 +40,32 @@ from repro.experiments import (
     table4,
     traffic,
 )
+from repro.runner import ResultCache, Runner
 from repro.timing.config import SystemConfig
-from repro.trace.stats import collect_stream_stats
 from repro.trace.scheduler import interleave
+from repro.trace.stats import collect_stream_stats
 from repro.workloads import SIZES, WORKLOAD_NAMES, get_workload
 
+#: subcommand name -> experiment module (each exposes jobs() and run())
 EXPERIMENTS = {
-    "fig6": figure6.run,
-    "fig7": figure7.run,
-    "fig8": figure8.run,
-    "fig9": figure9.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "ablations": ablations.run,
-    "forwarding": forwarding.run,
-    "variants": protocol_variants.run,
-    "traffic": traffic.run,
-    "si-delay": si_delay.run,
-    "patterns": patterns.run,
-    "stability": stability.run,
-    "hybrid": hybrid.run,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "table3": table3,
+    "table4": table4,
+    "ablations": ablations,
+    "forwarding": forwarding,
+    "variants": protocol_variants,
+    "traffic": traffic,
+    "si-delay": si_delay,
+    "patterns": patterns,
+    "stability": stability,
+    "hybrid": hybrid,
 }
+
+#: default on-disk cache location for ``run-all``
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _render_config() -> str:
@@ -87,6 +99,22 @@ def _render_workloads(size: str) -> str:
     return "\n".join(lines)
 
 
+def _add_runner_args(p: argparse.ArgumentParser, cache_default=None):
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation jobs (default: 1)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="PATH", default=cache_default,
+        help="content-addressed result cache directory"
+             + (f" (default: {cache_default})" if cache_default else ""),
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir is set",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ltp-repro",
@@ -114,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", metavar="PATH", default=None,
             help="also write flattened rows as JSON",
         )
+        _add_runner_args(p)
+    p = sub.add_parser(
+        "run-all",
+        help="execute the whole paper grid once, in parallel, cached",
+    )
+    p.add_argument("--size", choices=SIZES, default="small")
+    p.add_argument(
+        "--workloads", nargs="+", choices=WORKLOAD_NAMES, default=None
+    )
+    _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
     p = sub.add_parser(
         "report", help="run the full evaluation, emit one markdown doc"
     )
@@ -123,10 +161,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the markdown to PATH instead of stdout")
+    _add_runner_args(p)
     sub.add_parser("config", help="print the Table 1 system parameters")
     p = sub.add_parser("workloads", help="print Table 2 workload stats")
     p.add_argument("--size", choices=SIZES, default="small")
     return parser
+
+
+def _runner_from_args(args, progress=None) -> Runner:
+    cache = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir and not getattr(args, "no_cache", False):
+        cache = ResultCache(cache_dir)
+    return Runner(
+        jobs=getattr(args, "jobs", 1), cache=cache, progress=progress
+    )
+
+
+def _print_progress(done: int, total: int, spec, source: str) -> None:
+    tag = {"run": "ran", "cache": "cached", "memo": "memo"}[source]
+    print(f"[{done:>4}/{total}] {tag:<6} {spec.label()}", flush=True)
+
+
+def _run_all(args) -> int:
+    runner = _runner_from_args(args, progress=_print_progress)
+    specs = []
+    for module in EXPERIMENTS.values():
+        specs.extend(
+            module.jobs(size=args.size, workloads=args.workloads)
+        )
+    unique = len(dict.fromkeys(specs))
+    where = (
+        f"cache={runner.cache.root}" if runner.cache else "cache off"
+    )
+    print(
+        f"[run-all] {len(specs)} jobs ({unique} unique) across "
+        f"{len(EXPERIMENTS)} experiments; jobs={runner.jobs}, {where}"
+    )
+    start = time.time()
+    runner.run(specs)
+    elapsed = time.time() - start
+    # freeze the accounting before the render passes below re-request
+    # every spec (all memo hits, which would inflate the summary)
+    grid_stats = runner.stats.snapshot()
+    runner.progress = None
+    for name, module in EXPERIMENTS.items():
+        result = module.run(
+            size=args.size, workloads=args.workloads, runner=runner
+        )
+        print(result.render())
+        print()
+    print(
+        f"[run-all] grid resolved in {elapsed:.1f}s — "
+        f"{grid_stats.summary()}"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -134,8 +223,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "config":
         print(_render_config())
         return 0
+    if args.command == "run-all":
+        return _run_all(args)
     if args.command == "report":
-        doc = report.run(size=args.size, workloads=args.workloads)
+        doc = report.run(
+            size=args.size,
+            workloads=args.workloads,
+            runner=_runner_from_args(args),
+        )
         text = doc.render()
         if args.out:
             with open(args.out, "w") as handle:
@@ -150,10 +245,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = (
         list(EXPERIMENTS) if args.command == "all" else [args.command]
     )
+    # one runner for the whole invocation: `all` dedupes overlapping
+    # grids exactly like run-all, just serially rendered
+    runner = _runner_from_args(args)
     for name in names:
         start = time.time()
-        result = EXPERIMENTS[name](
-            size=args.size, workloads=args.workloads
+        result = EXPERIMENTS[name].run(
+            size=args.size, workloads=args.workloads, runner=runner
         )
         print(result.render())
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")

@@ -12,12 +12,8 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.accuracy import mean_fraction
 from repro.analysis.formatting import bar_segments, format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_accuracy,
-    workload_list,
-)
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, accuracy_job
 from repro.sim.results import AccuracyReport
 
 POLICY_ORDER = ("dsi", "last-pc", "ltp")
@@ -86,14 +82,34 @@ class Figure6Result:
         return table + "\n" + "\n".join(bars)
 
 
-def run(
+def _grid(size: str, names: List[str]) -> Dict[tuple, JobSpec]:
+    return {
+        (workload, policy): accuracy_job(
+            workload, size, PolicySpec(name=policy)
+        )
+        for workload in names
+        for policy in POLICY_ORDER
+    }
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> List[JobSpec]:
+    return list(_grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Figure6Result:
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    reports = use_runner(runner).run(grid.values())
     result = Figure6Result(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    for workload in names:
         result.reports[workload] = {
-            policy: run_accuracy(programs, make_policy_factory(policy))
+            policy: reports[grid[workload, policy]]
             for policy in POLICY_ORDER
         }
     return result

@@ -13,12 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_accuracy,
-    workload_list,
-)
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, accuracy_job
 from repro.sim.results import AccuracyReport
 
 #: the paper's sweep: A=Base(30) B=13 C=11 D=6
@@ -63,18 +59,38 @@ class Figure7Result:
         )
 
 
+def _grid(
+    size: str, names: List[str], widths: Sequence[int]
+) -> Dict[tuple, JobSpec]:
+    return {
+        (workload, width): accuracy_job(
+            workload, size, PolicySpec(name="ltp", bits=width)
+        )
+        for workload in names
+        for width in widths
+    }
+
+
+def jobs(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+) -> List[JobSpec]:
+    return list(_grid(size, workload_list(workloads), widths).values())
+
+
 def run(
     size: str = "small",
     workloads: Optional[Iterable[str]] = None,
     widths: Sequence[int] = DEFAULT_WIDTHS,
+    runner: Optional[Runner] = None,
 ) -> Figure7Result:
+    names = workload_list(workloads)
+    grid = _grid(size, names, widths)
+    reports = use_runner(runner).run(grid.values())
     result = Figure7Result(size=size, widths=widths)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    for workload in names:
         result.reports[workload] = {
-            width: run_accuracy(
-                programs, make_policy_factory("ltp", bits=width)
-            )
-            for width in widths
+            width: reports[grid[workload, width]] for width in widths
         }
     return result

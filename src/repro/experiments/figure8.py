@@ -13,16 +13,17 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_accuracy,
-    workload_list,
-)
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, accuracy_job
 from repro.sim.results import AccuracyReport
 
 PER_BLOCK_BITS = 13
 GLOBAL_BITS = 30
+
+#: the two organizations under comparison — shared verbatim with
+#: Table 3, so a shared runner executes each exactly once
+PER_BLOCK_POLICY = PolicySpec(name="ltp", bits=PER_BLOCK_BITS)
+GLOBAL_POLICY = PolicySpec(name="ltp-global", bits=GLOBAL_BITS)
 
 
 @dataclass
@@ -63,16 +64,34 @@ class Figure8Result:
         )
 
 
-def run(
+def _grid(size: str, names: List[str]) -> Dict[tuple, JobSpec]:
+    return {
+        (workload, policy.name): accuracy_job(workload, size, policy)
+        for workload in names
+        for policy in (PER_BLOCK_POLICY, GLOBAL_POLICY)
+    }
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> List[JobSpec]:
+    return list(_grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Figure8Result:
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    reports = use_runner(runner).run(grid.values())
     result = Figure8Result(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
-        result.per_block[workload] = run_accuracy(
-            programs, make_policy_factory("ltp", bits=PER_BLOCK_BITS)
-        )
-        result.global_table[workload] = run_accuracy(
-            programs, make_policy_factory("ltp-global", bits=GLOBAL_BITS)
-        )
+    for workload in names:
+        result.per_block[workload] = reports[
+            grid[workload, PER_BLOCK_POLICY.name]
+        ]
+        result.global_table[workload] = reports[
+            grid[workload, GLOBAL_POLICY.name]
+        ]
     return result

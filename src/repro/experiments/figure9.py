@@ -12,13 +12,14 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.formatting import format_table
 from repro.analysis.speedup import geomean
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_timing,
-    workload_list,
-)
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, timing_job
 from repro.timing.stats import TimingReport
+
+#: the paper's execution-time comparison; Table 4 and the traffic
+#: experiment reuse these exact specs, so a shared runner measures
+#: each (workload, policy) pair once
+POLICY_ORDER = ("base", "dsi", "ltp")
 
 
 @dataclass
@@ -60,14 +61,34 @@ class Figure9Result:
         )
 
 
-def run(
+def grid(size: str, names: List[str]) -> Dict[tuple, JobSpec]:
+    return {
+        (workload, policy): timing_job(
+            workload, size, PolicySpec(name=policy)
+        )
+        for workload in names
+        for policy in POLICY_ORDER
+    }
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> List[JobSpec]:
+    return list(grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Figure9Result:
+    names = workload_list(workloads)
+    specs = grid(size, names)
+    reports = use_runner(runner).run(specs.values())
     result = Figure9Result(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    for workload in names:
         result.reports[workload] = {
-            policy: run_timing(programs, make_policy_factory(policy))
-            for policy in ("base", "dsi", "ltp")
+            policy: reports[specs[workload, policy]]
+            for policy in POLICY_ORDER
         }
     return result

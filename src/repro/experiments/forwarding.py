@@ -21,12 +21,8 @@ from typing import Dict, Iterable, Optional
 
 from repro.analysis.formatting import format_table
 from repro.analysis.speedup import geomean
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    workload_list,
-)
-from repro.timing import TimingSimulator
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, timing_job
 from repro.timing.stats import TimingReport
 
 
@@ -75,21 +71,41 @@ class ForwardingResult:
         )
 
 
-def run(
+def _grid(size, names):
+    # base and plain-LTP rows are Figure 9 specs (shared runs); only
+    # the forwarding-enabled row is unique to this experiment
+    grid = {}
+    for workload in names:
+        grid[workload, "base"] = timing_job(
+            workload, size, PolicySpec(name="base")
+        )
+        grid[workload, "ltp"] = timing_job(
+            workload, size, PolicySpec(name="ltp")
+        )
+        grid[workload, "ltp+forward"] = timing_job(
+            workload, size, PolicySpec(name="ltp"), forwarding=True
+        )
+    return grid
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> "list[JobSpec]":
+    return list(_grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> ForwardingResult:
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    reports = use_runner(runner).run(grid.values())
     result = ForwardingResult(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    for workload in names:
         result.reports[workload] = {
-            "base": TimingSimulator(
-                make_policy_factory("base")
-            ).run(programs),
-            "ltp": TimingSimulator(
-                make_policy_factory("ltp")
-            ).run(programs),
-            "ltp+forward": TimingSimulator(
-                make_policy_factory("ltp"), forwarding=True
-            ).run(programs),
+            policy: reports[grid[workload, policy]]
+            for policy in ("base", "ltp", "ltp+forward")
         }
     return result

@@ -13,13 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_accuracy,
-    workload_list,
-)
-from repro.ext.hybrid import HybridPolicy
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, accuracy_job
 from repro.sim.results import AccuracyReport
 
 POLICIES = ("dsi", "ltp", "hybrid")
@@ -62,17 +57,35 @@ class HybridResult:
         )
 
 
-def run(
+def _grid(size, names):
+    # dsi and ltp rows are Figure 6 specs; only the hybrid is new
+    return {
+        (workload, policy): accuracy_job(
+            workload, size, PolicySpec(name=policy)
+        )
+        for workload in names
+        for policy in POLICIES
+    }
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> "list[JobSpec]":
+    return list(_grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> HybridResult:
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    reports = use_runner(runner).run(grid.values())
     result = HybridResult(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    for workload in names:
         result.reports[workload] = {
-            "dsi": run_accuracy(programs, make_policy_factory("dsi")),
-            "ltp": run_accuracy(programs, make_policy_factory("ltp")),
-            "hybrid": run_accuracy(
-                programs, lambda node: HybridPolicy()
-            ),
+            policy: reports[grid[workload, policy]]
+            for policy in POLICIES
         }
     return result

@@ -13,9 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.formatting import format_table
-from repro.analysis.sharing import SharingCensus, SharingPattern, census
-from repro.experiments.common import build_workload, workload_list
-from repro.trace.scheduler import interleave
+from repro.analysis.sharing import SharingCensus, SharingPattern
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, Runner, census_job
 
 
 @dataclass
@@ -44,11 +44,25 @@ class PatternsResult:
         )
 
 
-def run(
+def _grid(size, names):
+    return {workload: census_job(workload, size) for workload in names}
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> "list[JobSpec]":
+    return list(_grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> PatternsResult:
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    censuses = use_runner(runner).run(grid.values())
     result = PatternsResult(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
-        result.censuses[workload] = census(interleave(programs))
+    for workload in names:
+        result.censuses[workload] = censuses[grid[workload]]
     return result

@@ -18,14 +18,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    workload_list,
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import (
+    JobSpec,
+    PolicySpec,
+    Runner,
+    accuracy_job,
+    timing_job,
 )
-from repro.protocol.states import ProtocolVariant
-from repro.sim import AccuracySimulator
-from repro.timing import TimingSimulator
+
+VARIANTS = ("invalidate", "downgrade")
 
 
 @dataclass
@@ -70,25 +72,47 @@ class VariantResult:
         )
 
 
-def run(
+def _grid(size, names):
+    # the invalidate-variant rows coincide with Figure 6 (ltp
+    # accuracy) and Figure 9 (base/ltp timing) specs
+    grid = {}
+    for workload in names:
+        for variant in VARIANTS:
+            grid[workload, variant, "acc"] = accuracy_job(
+                workload, size, PolicySpec(name="ltp"), variant=variant
+            )
+            grid[workload, variant, "base"] = timing_job(
+                workload, size, PolicySpec(name="base"), variant=variant
+            )
+            grid[workload, variant, "ltp"] = timing_job(
+                workload, size, PolicySpec(name="ltp"), variant=variant
+            )
+    return grid
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> "list[JobSpec]":
+    return list(_grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> VariantResult:
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    reports = use_runner(runner).run(grid.values())
     result = VariantResult(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    for workload in names:
         row = VariantRow()
-        for variant in ProtocolVariant:
-            acc = AccuracySimulator(
-                make_policy_factory("ltp"), variant=variant
-            ).run(programs)
-            base = TimingSimulator(
-                make_policy_factory("base"), variant=variant
-            ).run(programs)
-            ltp = TimingSimulator(
-                make_policy_factory("ltp"), variant=variant
-            ).run(programs)
+        for variant in VARIANTS:
+            acc = reports[grid[workload, variant, "acc"]]
+            base = reports[grid[workload, variant, "base"]]
+            ltp = reports[grid[workload, variant, "ltp"]]
             speedup = ltp.speedup_over(base)
-            if variant is ProtocolVariant.INVALIDATE:
+            if variant == "invalidate":
                 row.invals_invalidate = acc.total_invalidations
                 row.ltp_pred_invalidate = acc.predicted_fraction
                 row.ltp_speedup_invalidate = speedup

@@ -17,12 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    workload_list,
-)
-from repro.timing import TimingSimulator
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, timing_job
 from repro.timing.stats import TimingReport
 
 DEFAULT_DELAYS: Tuple[int, ...] = (0, 500, 2000, 8000)
@@ -64,25 +60,52 @@ class SiDelayResult:
         )
 
 
+def _names(workloads: Optional[Iterable[str]]):
+    return (
+        list(DEFAULT_WORKLOADS) if workloads is None
+        else workload_list(workloads)
+    )
+
+
+def _grid(size, names, delays):
+    # the base run and the delay-0 LTP run are Figure 9's exact specs:
+    # a shared runner serves them without re-simulating
+    grid = {}
+    for workload in names:
+        grid[workload, "base"] = timing_job(
+            workload, size, PolicySpec(name="base")
+        )
+        for delay in delays:
+            grid[workload, delay] = timing_job(
+                workload,
+                size,
+                PolicySpec(name="ltp"),
+                si_fire_delay=delay,
+            )
+    return grid
+
+
+def jobs(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    delays: Sequence[int] = DEFAULT_DELAYS,
+) -> "list[JobSpec]":
+    return list(_grid(size, _names(workloads), delays).values())
+
+
 def run(
     size: str = "small",
     workloads: Optional[Iterable[str]] = None,
     delays: Sequence[int] = DEFAULT_DELAYS,
+    runner: Optional[Runner] = None,
 ) -> SiDelayResult:
-    names = (
-        list(DEFAULT_WORKLOADS) if workloads is None
-        else workload_list(workloads)
-    )
+    names = _names(workloads)
+    grid = _grid(size, names, delays)
+    reports = use_runner(runner).run(grid.values())
     result = SiDelayResult(size=size, delays=delays)
     for workload in names:
-        programs = build_workload(workload, size)
-        result.base[workload] = TimingSimulator(
-            make_policy_factory("base")
-        ).run(programs)
+        result.base[workload] = reports[grid[workload, "base"]]
         result.runs[workload] = {
-            delay: TimingSimulator(
-                make_policy_factory("ltp"), si_fire_delay=delay
-            ).run(programs)
-            for delay in delays
+            delay: reports[grid[workload, delay]] for delay in delays
         }
     return result

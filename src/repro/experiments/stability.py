@@ -15,9 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import make_policy_factory, workload_list
-from repro.sim import AccuracySimulator
-from repro.workloads import get_workload
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, PolicySpec, Runner, accuracy_job
 
 DEFAULT_SEEDS = (11, 23, 47, 91)
 
@@ -65,19 +64,40 @@ class StabilityResult:
         )
 
 
+def _grid(size, names, seeds):
+    return {
+        (workload, seed): accuracy_job(
+            workload,
+            size,
+            PolicySpec(name="ltp"),
+            overrides={"seed": seed},
+        )
+        for workload in names
+        for seed in seeds
+    }
+
+
+def jobs(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> "list[JobSpec]":
+    return list(_grid(size, workload_list(workloads), seeds).values())
+
+
 def run(
     size: str = "small",
     workloads: Optional[Iterable[str]] = None,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    runner: Optional[Runner] = None,
 ) -> StabilityResult:
+    names = workload_list(workloads)
+    grid = _grid(size, names, seeds)
+    reports = use_runner(runner).run(grid.values())
     result = StabilityResult(size=size, seeds=seeds)
-    for workload in workload_list(workloads):
-        samples: List[float] = []
-        for seed in seeds:
-            programs = get_workload(workload, size, seed=seed).build()
-            report = AccuracySimulator(
-                make_policy_factory("ltp")
-            ).run(programs)
-            samples.append(report.predicted_fraction)
-        result.samples[workload] = samples
+    for workload in names:
+        result.samples[workload] = [
+            reports[grid[workload, seed]].predicted_fraction
+            for seed in seeds
+        ]
     return result

@@ -16,15 +16,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.formatting import format_table
 from repro.core.storage import AggregateStorage
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_accuracy,
-    workload_list,
-)
+from repro.experiments.common import use_runner, workload_list
+from repro.experiments.figure8 import GLOBAL_POLICY, PER_BLOCK_POLICY
+from repro.runner import JobSpec, Runner, accuracy_job
 
-PER_BLOCK_BITS = 13
-GLOBAL_BITS = 30
+PER_BLOCK_BITS = PER_BLOCK_POLICY.bits
+GLOBAL_BITS = GLOBAL_POLICY.bits
 
 
 @dataclass
@@ -69,18 +66,34 @@ class Table3Result:
         )
 
 
-def run(
+def _grid(size: str, names: List[str]) -> Dict[tuple, JobSpec]:
+    # identical specs to Figure 8's accuracy grid: a shared runner
+    # serves both experiments from one set of simulations
+    return {
+        (workload, policy.name): accuracy_job(workload, size, policy)
+        for workload in names
+        for policy in (PER_BLOCK_POLICY, GLOBAL_POLICY)
+    }
+
+
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> List[JobSpec]:
+    return list(_grid(size, workload_list(workloads)).values())
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Table3Result:
+    names = workload_list(workloads)
+    grid = _grid(size, names)
+    reports = use_runner(runner).run(grid.values())
     result = Table3Result(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
-        per_block = run_accuracy(
-            programs, make_policy_factory("ltp", bits=PER_BLOCK_BITS)
-        )
-        global_tab = run_accuracy(
-            programs, make_policy_factory("ltp-global", bits=GLOBAL_BITS)
-        )
+    for workload in names:
+        per_block = reports[grid[workload, PER_BLOCK_POLICY.name]]
+        global_tab = reports[grid[workload, GLOBAL_POLICY.name]]
         if per_block.storage is None or global_tab.storage is None:
             continue
         result.storage[workload] = (per_block.storage, global_tab.storage)

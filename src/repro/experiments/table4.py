@@ -14,12 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    run_timing,
-    workload_list,
-)
+from repro.experiments import figure9
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, Runner
 from repro.timing.stats import TimingReport
 
 
@@ -61,21 +58,33 @@ class Table4Result:
         )
 
 
+def jobs(
+    size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> List[JobSpec]:
+    """Table 4 measures the same (workload, policy) timing runs as
+    Figure 9 — a shared runner executes them once for both."""
+    return figure9.jobs(size=size, workloads=workloads)
+
+
 def run(
     size: str = "small",
     workloads: Optional[Iterable[str]] = None,
     reuse: Optional[Dict[str, Dict[str, TimingReport]]] = None,
+    runner: Optional[Runner] = None,
 ) -> Table4Result:
     """Measure Table 4. Pass ``reuse`` (a Figure9Result.reports mapping)
-    to avoid re-running the identical timing simulations."""
+    to avoid re-running the identical timing simulations, or share a
+    cached ``runner`` for the same effect."""
     result = Table4Result(size=size)
     if reuse is not None:
         result.reports = reuse
         return result
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    names = workload_list(workloads)
+    grid = figure9.grid(size, names)
+    reports = use_runner(runner).run(grid.values())
+    for workload in names:
         result.reports[workload] = {
-            policy: run_timing(programs, make_policy_factory(policy))
-            for policy in ("base", "dsi", "ltp")
+            policy: reports[grid[workload, policy]]
+            for policy in figure9.POLICY_ORDER
         }
     return result

@@ -10,15 +10,12 @@ trade: LTP converts invalidation round-trips into one-way writebacks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.formatting import format_table
-from repro.experiments.common import (
-    build_workload,
-    make_policy_factory,
-    workload_list,
-)
-from repro.timing import TimingSimulator
+from repro.experiments import figure9
+from repro.experiments.common import use_runner, workload_list
+from repro.runner import JobSpec, Runner
 from repro.timing.stats import TimingReport
 
 
@@ -61,16 +58,26 @@ class TrafficResult:
         )
 
 
-def run(
+def jobs(
     size: str = "small", workloads: Optional[Iterable[str]] = None
+) -> List[JobSpec]:
+    """The message accounting reads the same timing runs Figure 9
+    measures — identical specs, one execution under a shared runner."""
+    return figure9.jobs(size=size, workloads=workloads)
+
+
+def run(
+    size: str = "small",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> TrafficResult:
+    names = workload_list(workloads)
+    grid = figure9.grid(size, names)
+    reports = use_runner(runner).run(grid.values())
     result = TrafficResult(size=size)
-    for workload in workload_list(workloads):
-        programs = build_workload(workload, size)
+    for workload in names:
         result.reports[workload] = {
-            policy: TimingSimulator(
-                make_policy_factory(policy)
-            ).run(programs)
-            for policy in ("base", "dsi", "ltp")
+            policy: reports[grid[workload, policy]]
+            for policy in figure9.POLICY_ORDER
         }
     return result

@@ -1,0 +1,38 @@
+"""Run orchestration: declarative job specs, parallel execution, and a
+content-addressed result cache.
+
+The experiment modules (:mod:`repro.experiments`) describe their grids
+as lists of :class:`JobSpec` and submit them through a :class:`Runner`;
+``repro run-all`` shares one runner across every experiment so the
+overlapping parts of the paper grid — the ``base`` timing runs Figure 9,
+Table 4 and the traffic census all need, the 13-bit LTP Figure 8,
+Table 3 and the ablations all need — execute exactly once and persist
+in the cache for the next invocation.
+
+See README.md ("Runner architecture") for the full design.
+"""
+
+from repro.runner.cache import CACHE_SCHEMA, ResultCache
+from repro.runner.runner import Runner, RunnerStats, execute_spec
+from repro.runner.spec import (
+    JobSpec,
+    PolicySpec,
+    accuracy_job,
+    census_job,
+    oracle_job,
+    timing_job,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "JobSpec",
+    "PolicySpec",
+    "ResultCache",
+    "Runner",
+    "RunnerStats",
+    "accuracy_job",
+    "census_job",
+    "execute_spec",
+    "oracle_job",
+    "timing_job",
+]

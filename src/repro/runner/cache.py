@@ -1,0 +1,110 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout::
+
+    <root>/
+        ab/
+            ab3f...e1.pkl     # pickled report, sha256-named
+        cd/
+            cd90...77.pkl
+
+The key of an entry is ``sha256("repro-cache/<schema>/<salt>/" +
+spec.canonical())``. The *salt* defaults to the package version
+(:data:`repro._version.__version__`): bumping the version after a
+behaviour-affecting code change orphans every old entry rather than
+serving stale results. Orphans are harmless; ``prune(keep_specs)``
+deletes **everything** not addressed by ``keep_specs`` under the
+current salt — orphans and unlisted current entries alike — so pass
+the full grid you intend to keep.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent runner
+processes sharing a cache directory never observe torn entries; a
+corrupt or unreadable entry is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro._version import __version__
+from repro.runner.spec import JobSpec
+
+#: bump to orphan every existing cache entry on a layout change
+CACHE_SCHEMA = 1
+
+
+class ResultCache:
+    """Spec-hash -> pickled report store under one directory."""
+
+    def __init__(
+        self, root, salt: Optional[str] = None
+    ) -> None:
+        self.root = Path(root)
+        self.salt = __version__ if salt is None else salt
+
+    def key(self, spec: JobSpec) -> str:
+        payload = (
+            f"repro-cache/{CACHE_SCHEMA}/{self.salt}/{spec.canonical()}"
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path(self, spec: JobSpec) -> Path:
+        key = self.key(spec)
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, spec: JobSpec) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupt entries count as misses."""
+        path = self.path(spec)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # torn/corrupt/incompatible entry: drop it, recompute
+            path.unlink(missing_ok=True)
+            return False, None
+
+    def put(self, spec: JobSpec, value: Any) -> Path:
+        path = self.path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    value, handle, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> int:
+        """Number of stored results (any salt)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def prune(self, keep_specs=()) -> int:
+        """Delete entries not addressed by ``keep_specs`` under the
+        current salt. Returns the number removed."""
+        keep = {self.path(spec) for spec in keep_specs}
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*/*.pkl"):
+            if path not in keep:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,218 @@
+"""Parallel, cached execution of :class:`~repro.runner.spec.JobSpec`s.
+
+:func:`execute_spec` is the single entry point that turns a spec into a
+report — it is a module-level function so a ``multiprocessing`` pool
+can ship specs to workers by pickle. Each process memoises built
+``ProgramSet``s per ``(workload, size, overrides)``, so a grid that
+sweeps policies over one workload builds the trace once per process.
+
+:class:`Runner` layers three result sources, in order:
+
+1. an in-memory memo (shared across ``run()`` calls, which is how
+   ``repro run-all`` deduplicates overlapping experiment grids);
+2. the on-disk :class:`~repro.runner.cache.ResultCache`, if attached;
+3. actual execution — inline when ``jobs == 1``, otherwise on a
+   process pool.
+
+Results are deterministic: the simulations are seeded and event
+ordering is total, so a spec's report is byte-identical whether it was
+computed serially, in parallel, or read back from the cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.sharing import census
+from repro.errors import ConfigurationError
+from repro.protocol.states import ProtocolVariant
+from repro.runner.cache import ResultCache
+from repro.runner.spec import NULL_POLICY, JobSpec
+from repro.sim import AccuracySimulator
+from repro.timing import TimingSimulator
+from repro.trace.program import ProgramSet
+from repro.trace.scheduler import interleave
+from repro.workloads import get_workload
+
+#: per-process ProgramSet memo: (workload, size, overrides) -> ProgramSet
+_PROGRAMS: Dict[Tuple, ProgramSet] = {}
+
+#: progress callback: (done, total, spec, source) with source one of
+#: "memo" | "cache" | "run"
+ProgressFn = Callable[[int, int, JobSpec, str], None]
+
+
+def _programs_for(spec: JobSpec) -> ProgramSet:
+    key = (spec.workload, spec.size, spec.overrides)
+    programs = _PROGRAMS.get(key)
+    if programs is None:
+        programs = get_workload(
+            spec.workload, spec.size, **dict(spec.overrides)
+        ).build()
+        _PROGRAMS[key] = programs
+    return programs
+
+
+def execute_spec(spec: JobSpec) -> Any:
+    """Run one spec to completion and return its report object."""
+    programs = _programs_for(spec)
+    variant = ProtocolVariant[spec.variant.upper()]
+    if spec.kind == "census":
+        return census(interleave(programs))
+    if spec.kind == "oracle":
+        sim = AccuracySimulator(NULL_POLICY.build, variant=variant)
+        return sim.run_oracle(programs)
+    if spec.kind == "accuracy":
+        sim = AccuracySimulator(spec.policy.build, variant=variant)
+        return sim.run(programs)
+    if spec.kind == "timing":
+        sim = TimingSimulator(
+            spec.policy.build,
+            config=spec.config,
+            variant=variant,
+            forwarding=spec.forwarding,
+            si_fire_delay=spec.si_fire_delay,
+        )
+        return sim.run(programs)
+    raise ConfigurationError(f"unknown job kind {spec.kind!r}")
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative accounting across a Runner's lifetime."""
+
+    requested: int = 0
+    #: duplicates collapsed within a single run() call
+    dedup_hits: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def served_without_execution(self) -> int:
+        return self.dedup_hits + self.memo_hits + self.cache_hits
+
+    @property
+    def cache_fraction(self) -> float:
+        """Fraction of requested jobs that needed no execution."""
+        if not self.requested:
+            return 0.0
+        return self.served_without_execution / self.requested
+
+    def snapshot(self) -> "RunnerStats":
+        return RunnerStats(
+            requested=self.requested,
+            dedup_hits=self.dedup_hits,
+            memo_hits=self.memo_hits,
+            cache_hits=self.cache_hits,
+            executed=self.executed,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.requested} jobs requested: "
+            f"{self.executed} executed, "
+            f"{self.cache_hits} from disk cache, "
+            f"{self.memo_hits} from memory, "
+            f"{self.dedup_hits} duplicates collapsed "
+            f"({self.cache_fraction:.0%} served without execution)"
+        )
+
+
+@dataclass
+class Runner:
+    """Executes job specs with dedup, caching and optional parallelism.
+
+    Attributes:
+        jobs: worker process count; 1 runs inline (no pool).
+        cache: on-disk result cache, or ``None`` to disable.
+        progress: optional per-job callback (done, total, spec, source).
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    progress: Optional[ProgressFn] = None
+    stats: RunnerStats = field(default_factory=RunnerStats)
+    _memo: Dict[JobSpec, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(
+                f"jobs must be >= 1, got {self.jobs}"
+            )
+
+    def run(self, specs: Iterable[JobSpec]) -> Dict[JobSpec, Any]:
+        """Resolve every spec, executing each unique one at most once.
+
+        Returns a mapping that covers all requested specs (duplicates
+        collapse onto the same entry).
+        """
+        requested = list(specs)
+        self.stats.requested += len(requested)
+        unique = list(dict.fromkeys(requested))
+        self.stats.dedup_hits += len(requested) - len(unique)
+        total = len(unique)
+        results: Dict[JobSpec, Any] = {}
+        misses: List[JobSpec] = []
+        done = 0
+        for spec in unique:
+            source = None
+            if spec in self._memo:
+                results[spec] = self._memo[spec]
+                self.stats.memo_hits += 1
+                source = "memo"
+            elif self.cache is not None:
+                hit, value = self.cache.get(spec)
+                if hit:
+                    results[spec] = self._memo[spec] = value
+                    self.stats.cache_hits += 1
+                    source = "cache"
+            if source is None:
+                misses.append(spec)
+            else:
+                done += 1
+                self._report(done, total, spec, source)
+        for spec, value in self._execute(misses):
+            results[spec] = self._memo[spec] = value
+            if self.cache is not None:
+                self.cache.put(spec, value)
+            self.stats.executed += 1
+            done += 1
+            self._report(done, total, spec, "run")
+        return results
+
+    def run_one(self, spec: JobSpec) -> Any:
+        return self.run([spec])[spec]
+
+    def _execute(
+        self, misses: List[JobSpec]
+    ) -> Iterable[Tuple[JobSpec, Any]]:
+        if not misses:
+            return
+        if self.jobs == 1 or len(misses) == 1:
+            for spec in misses:
+                yield spec, execute_spec(spec)
+            return
+        # group jobs sharing a ProgramSet so each worker's per-process
+        # memo rebuilds as few workloads as possible
+        ordered = sorted(
+            misses, key=lambda s: (s.workload, s.size, s.overrides)
+        )
+        workers = min(self.jobs, len(ordered))
+        chunksize = max(1, len(ordered) // (workers * 4))
+        with multiprocessing.Pool(processes=workers) as pool:
+            # ordered imap: results stream back as they finish but
+            # pair up with their specs positionally
+            for spec, value in zip(
+                ordered,
+                pool.imap(execute_spec, ordered, chunksize=chunksize),
+            ):
+                yield spec, value
+
+    def _report(
+        self, done: int, total: int, spec: JobSpec, source: str
+    ) -> None:
+        if self.progress is not None:
+            self.progress(done, total, spec, source)

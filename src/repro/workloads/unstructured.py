@@ -66,9 +66,10 @@ class Unstructured(Workload):
         n = p.num_nodes
         per_cpu: Dict[int, List[Tuple[int, int]]] = {}
         for cpu in range(n):
-            own = lambda: cpu * p.points_per_cpu + rng.randrange(
-                p.points_per_cpu
-            )
+            def own(cpu=cpu):
+                return cpu * p.points_per_cpu + rng.randrange(
+                    p.points_per_cpu
+                )
             edges = []
             for _ in range(p.edges_per_cpu):
                 a = own()

@@ -49,12 +49,14 @@ def accuracy():
 class TestFigure6Shapes:
     def test_ltp_beats_dsi_on_average(self, accuracy):
         pred, _ = accuracy
-        avg = lambda p: sum(pred[p].values()) / len(pred[p])
+        def avg(p):
+            return sum(pred[p].values()) / len(pred[p])
         assert avg("ltp") > avg("dsi") + 0.15
 
     def test_ltp_beats_last_pc_on_average(self, accuracy):
         pred, _ = accuracy
-        avg = lambda p: sum(pred[p].values()) / len(pred[p])
+        def avg(p):
+            return sum(pred[p].values()) / len(pred[p])
         assert avg("ltp") > avg("last-pc") + 0.15
 
     def test_barnes_is_dsi_only_win(self, accuracy):
@@ -87,7 +89,8 @@ class TestFigure6Shapes:
         """DSI has no confidence filter; its misprediction rate is an
         order of magnitude above LTP's (14% vs 3% in the paper)."""
         _, mis = accuracy
-        avg = lambda p: sum(mis[p].values()) / len(mis[p])
+        def avg(p):
+            return sum(mis[p].values()) / len(mis[p])
         assert avg("dsi") > 3 * avg("ltp")
 
     def test_confidence_keeps_trace_predictors_clean(self, accuracy):
@@ -108,7 +111,8 @@ class TestFigure8Shape:
 
     def test_global_table_worse_on_average(self, accuracy):
         pred, _ = accuracy
-        avg = lambda p: sum(pred[p].values()) / len(pred[p])
+        def avg(p):
+            return sum(pred[p].values()) / len(pred[p])
         assert avg("global") < avg("ltp") - 0.05
 
 

@@ -36,6 +36,10 @@ class TestCommon:
         with pytest.raises(ConfigurationError):
             workload_list(["em3d", "doom"])
 
+    def test_workload_list_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            workload_list(["em3d", "tomcatv", "em3d"])
+
 
 class TestFigure6:
     def test_runs_and_renders(self):
@@ -120,3 +124,34 @@ class TestCLI:
         assert main(["workloads", "--size", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "em3d" in out and "raytrace" in out
+
+    def test_run_all_command_caches(self, tmp_path, capsys):
+        argv = ["run-all", "--size", "tiny", "--workloads", "em3d",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Figure 6" in first and "Figure 9" in first
+        assert "Table 4" in first
+        assert ", 0 from disk cache," in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # every job of the repeat invocation is served from the cache
+        assert "0 executed" in second
+        assert "(100% served without execution)" in second
+
+    def test_run_all_no_cache_writes_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["run-all", "--size", "tiny",
+                     "--workloads", "em3d",
+                     "--cache-dir", str(cache_dir),
+                     "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+    def test_experiment_command_with_cache(self, tmp_path, capsys):
+        argv = ["fig9", "--size", "tiny", "--workloads", "em3d",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
