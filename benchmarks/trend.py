@@ -1,0 +1,133 @@
+"""Benchmark trend gate: compare two directories of BENCH_*.json
+records (the ``ltp-repro-bench/1`` schema emitted by
+``benchmarks/conftest.py``) and fail on regression.
+
+Usage::
+
+    python benchmarks/trend.py --baseline DIR --current DIR \
+        [--threshold 0.20] [--metric mean]
+
+CI downloads the previous successful run's timing artifact into
+``--baseline`` and this run's into ``--current``. A benchmark regresses
+when ``current/baseline - 1 > threshold`` on the chosen ``stats_s``
+metric. Exit codes: 0 ok (including "no baseline yet" — the first run
+on a branch has nothing to compare against), 1 regression, 2 bad
+invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PREFIX = "ltp-repro-bench/"
+
+
+def load_records(directory: Path) -> dict:
+    """name -> record for every well-formed BENCH_*.json in a dir."""
+    records = {}
+    if not directory.is_dir():
+        return records
+    for path in sorted(directory.rglob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            print(f"[trend] skipping unreadable {path}")
+            continue
+        if not str(record.get("schema", "")).startswith(SCHEMA_PREFIX):
+            print(f"[trend] skipping {path}: unknown schema")
+            continue
+        name = record.get("name")
+        stats = record.get("stats_s")
+        if not isinstance(name, str) or not isinstance(stats, dict):
+            # a future schema bump may rename fields; degrade to a
+            # skip instead of crashing the gate on the old artifact
+            print(f"[trend] skipping {path}: missing name/stats_s")
+            continue
+        records[name] = record
+    return records
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float, metric: str
+):
+    """Return (rows, regressions) comparing matching benchmark names."""
+    rows = []
+    regressions = []
+    for name in sorted(current):
+        cur = current[name]["stats_s"].get(metric)
+        base_record = baseline.get(name)
+        base = (
+            base_record["stats_s"].get(metric) if base_record else None
+        )
+        if cur is None or base is None or base <= 0:
+            rows.append((name, base, cur, None))
+            continue
+        ratio = cur / base
+        rows.append((name, base, cur, ratio))
+        if ratio - 1.0 > threshold:
+            regressions.append((name, base, cur, ratio))
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed fractional slowdown (default: 0.20 = +20%%)",
+    )
+    parser.add_argument(
+        "--metric", default="mean",
+        choices=("mean", "min", "max"),
+        help="stats_s field to compare (default: mean)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_records(args.current)
+    if not current:
+        print(f"[trend] no benchmark records under {args.current}")
+        return 2
+    baseline = load_records(args.baseline)
+    if not baseline:
+        print(
+            "[trend] no baseline records — first run on this branch? "
+            "passing trivially"
+        )
+        return 0
+
+    rows, regressions = compare(
+        baseline, current, args.threshold, args.metric
+    )
+    print(
+        f"[trend] comparing {args.metric} against baseline "
+        f"(threshold +{args.threshold:.0%})"
+    )
+    for name, base, cur, ratio in rows:
+        if ratio is None:
+            print(f"  {name:<30} no baseline — skipped")
+        else:
+            print(
+                f"  {name:<30} {base:8.3f}s -> {cur:8.3f}s "
+                f"({ratio - 1.0:+.1%})"
+            )
+    stale = sorted(set(baseline) - set(current))
+    if stale:
+        print(f"[trend] baseline-only benchmarks ignored: {stale}")
+    if regressions:
+        print(f"[trend] FAIL: {len(regressions)} regression(s)")
+        for name, base, cur, ratio in regressions:
+            print(
+                f"  {name}: {base:.3f}s -> {cur:.3f}s "
+                f"({ratio - 1.0:+.1%} > +{args.threshold:.0%})"
+            )
+        return 1
+    print("[trend] ok — no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,13 +6,20 @@ Examples::
     ltp-repro fig9 --size small --workloads em3d tomcatv
     ltp-repro all --size tiny
     ltp-repro run-all --size small --jobs 8 --cache-dir .repro-cache
+    ltp-repro run-all --cooperative   # in N terminals: splits the grid
+    ltp-repro cache stats
+    ltp-repro cache prune --max-age 7d --max-bytes 500M
     python -m repro.experiments.cli table3
 
 Every experiment subcommand accepts ``--jobs N`` (worker processes)
 and ``--cache-dir PATH`` (content-addressed result cache); ``run-all``
 executes the entire paper grid through one shared runner so the
 overlapping simulations across experiments run exactly once and repeat
-invocations are served from the cache.
+invocations are served from the cache. ``run-all --cooperative`` lets
+N independent invocations sharing one ``--cache-dir`` partition the
+grid through the claim protocol (:mod:`repro.runner.claims`), and by
+default persists built workload traces under ``<cache-dir>/traces`` so
+repeat runs skip ``ProgramSet`` synthesis.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
@@ -40,11 +48,12 @@ from repro.experiments import (
     table4,
     traffic,
 )
-from repro.runner import ResultCache, Runner
+from repro.runner import ClaimStore, ResultCache, Runner, prune_files
+from repro.runner.claims import DEFAULT_TTL
 from repro.timing.config import SystemConfig
 from repro.trace.scheduler import interleave
 from repro.trace.stats import collect_stream_stats
-from repro.workloads import SIZES, WORKLOAD_NAMES, get_workload
+from repro.workloads import SIZES, WORKLOAD_NAMES, TraceCache, get_workload
 
 #: subcommand name -> experiment module (each exposes jobs() and run())
 EXPERIMENTS = {
@@ -113,6 +122,61 @@ def _add_runner_args(p: argparse.ArgumentParser, cache_default=None):
         "--no-cache", action="store_true",
         help="disable the result cache even if --cache-dir is set",
     )
+    p.add_argument(
+        "--trace-cache", metavar="PATH", default=None,
+        help="persistent ProgramSet build cache directory "
+             "(run-all defaults to <cache-dir>/traces)",
+    )
+
+
+def _parse_age(text: str) -> float:
+    """'90', '90s', '30m', '36h', '7d' -> seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    text = text.strip().lower()
+    factor = units.get(text[-1:], None)
+    if factor is not None:
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r}; use e.g. 90s, 30m, 36h, 7d"
+        )
+    return value * (factor or 1.0)
+
+
+def _parse_bytes(text: str) -> float:
+    """'1048576', '500K', '500M', '2G' -> bytes."""
+    units = {"k": 2**10, "m": 2**20, "g": 2**30, "t": 2**40}
+    text = text.strip().lower().rstrip("ib")
+    factor = units.get(text[-1:], None)
+    if factor is not None:
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r}; use e.g. 1048576, 500M, 2G"
+        )
+    return value * (factor or 1)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,7 +215,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workloads", nargs="+", choices=WORKLOAD_NAMES, default=None
     )
+    p.add_argument(
+        "--cooperative", action="store_true",
+        help="split the grid with other --cooperative invocations "
+             "sharing this --cache-dir (claim protocol; each unique "
+             "job executes exactly once across the fleet)",
+    )
+    p.add_argument(
+        "--claim-ttl", type=float, default=DEFAULT_TTL, metavar="SECS",
+        help="heartbeat age after which a peer's claim is presumed "
+             f"dead and taken over (default: {DEFAULT_TTL:g})",
+    )
     _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
+    p = sub.add_parser(
+        "cache", help="inspect or prune the shared result cache"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for cache_cmd in ("stats", "prune"):
+        cp = cache_sub.add_parser(
+            cache_cmd,
+            help=(
+                "show entry/claim/trace accounting" if cache_cmd == "stats"
+                else "apply retention limits and sweep stale claims"
+            ),
+        )
+        cp.add_argument(
+            "--cache-dir", metavar="PATH", default=DEFAULT_CACHE_DIR,
+            help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+        cp.add_argument(
+            "--claim-ttl", type=float, default=DEFAULT_TTL,
+            metavar="SECS",
+            help="heartbeat age beyond which a claim counts as stale "
+                 f"(default: {DEFAULT_TTL:g})",
+        )
+        cp.add_argument(
+            "--trace-cache", metavar="PATH", default=None,
+            help="trace cache directory to account/prune "
+                 "(default: <cache-dir>/traces)",
+        )
+        if cache_cmd == "prune":
+            cp.add_argument(
+                "--max-age", type=_parse_age, default=None,
+                metavar="AGE",
+                help="drop results older than AGE (e.g. 36h, 7d)",
+            )
+            cp.add_argument(
+                "--max-bytes", type=_parse_bytes, default=None,
+                metavar="SIZE",
+                help="then drop oldest results until under SIZE "
+                     "(e.g. 500M, 2G)",
+            )
     p = sub.add_parser(
         "report", help="run the full evaluation, emit one markdown doc"
     )
@@ -173,17 +287,40 @@ def _runner_from_args(args, progress=None) -> Runner:
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir and not getattr(args, "no_cache", False):
         cache = ResultCache(cache_dir)
+    # an explicit --trace-cache always wins (even under --no-cache,
+    # which disables only the *result* cache); run-all additionally
+    # defaults the trace cache to live inside an active result cache
+    trace_dir = getattr(args, "trace_cache", None)
+    if trace_dir is None and cache is not None and (
+        getattr(args, "command", None) == "run-all"
+    ):
+        trace_dir = str(Path(cache_dir) / "traces")
+    trace_cache = TraceCache(trace_dir) if trace_dir else None
     return Runner(
-        jobs=getattr(args, "jobs", 1), cache=cache, progress=progress
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        progress=progress,
+        cooperative=getattr(args, "cooperative", False),
+        claim_ttl=getattr(args, "claim_ttl", DEFAULT_TTL),
+        trace_cache=trace_cache,
     )
 
 
 def _print_progress(done: int, total: int, spec, source: str) -> None:
-    tag = {"run": "ran", "cache": "cached", "memo": "memo"}[source]
+    tag = {
+        "run": "ran", "cache": "cached", "memo": "memo", "peer": "peer",
+    }[source]
     print(f"[{done:>4}/{total}] {tag:<6} {spec.label()}", flush=True)
 
 
 def _run_all(args) -> int:
+    if args.cooperative and (args.no_cache or not args.cache_dir):
+        print(
+            "run-all: --cooperative requires a result cache "
+            "(--cache-dir without --no-cache)",
+            file=sys.stderr,
+        )
+        return 2
     runner = _runner_from_args(args, progress=_print_progress)
     specs = []
     for module in EXPERIMENTS.values():
@@ -215,6 +352,74 @@ def _run_all(args) -> int:
         f"[run-all] grid resolved in {elapsed:.1f}s — "
         f"{grid_stats.summary()}"
     )
+    if runner.trace_cache is not None:
+        tc = runner.trace_cache
+        print(
+            f"[run-all] trace cache {tc.root}: {tc.hits} hits, "
+            f"{tc.builds} builds this process, "
+            f"{tc.entries()} traces on disk"
+        )
+    return 0
+
+
+def _cache_command(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    store = ClaimStore(args.cache_dir, ttl=args.claim_ttl)
+    traces = TraceCache(
+        args.trace_cache or Path(args.cache_dir) / "traces"
+    )
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        live, stale = store.partition()
+        print(f"cache {cache.root}")
+        ages = (
+            f" (oldest {_fmt_age(stats.oldest_age)}, "
+            f"newest {_fmt_age(stats.newest_age)})"
+            if stats.entries else ""
+        )
+        print(
+            f"  results  {stats.entries} entries, "
+            f"{_fmt_bytes(stats.total_bytes)}{ages}"
+        )
+        print(
+            f"  claims   {len(live)} live, {len(stale)} stale "
+            f"(ttl {args.claim_ttl:g}s)"
+        )
+        for info in live:
+            print(
+                f"             {info.key[:12]}… held by "
+                f"{info.host}/{info.pid}"
+            )
+        print(
+            f"  traces   {traces.entries()} entries, "
+            f"{_fmt_bytes(traces.total_bytes())}"
+        )
+        return 0
+    # prune: age sweep per store, then one *combined* byte budget over
+    # results + traces (so --max-bytes bounds the directory as a
+    # whole), then stale claims
+    def trace_paths():
+        if traces.root.is_dir():
+            yield from traces.root.glob("*/*.pkl")
+
+    removed_age = cache.prune_by(max_age=args.max_age) + prune_files(
+        trace_paths(), max_age=args.max_age
+    )
+    removed_budget = prune_files(
+        list(cache.entry_paths()) + list(trace_paths()),
+        max_bytes=args.max_bytes,
+    )
+    reaped = store.reap()
+    stats = cache.stats()
+    print(
+        f"pruned {removed_age + removed_budget} cached files "
+        f"({removed_age} past --max-age, "
+        f"{removed_budget} over --max-bytes), "
+        f"swept {len(reaped)} stale claims; "
+        f"{stats.entries} results ({_fmt_bytes(stats.total_bytes)}) "
+        f"and {traces.entries()} traces "
+        f"({_fmt_bytes(traces.total_bytes())}) remain"
+    )
     return 0
 
 
@@ -225,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run-all":
         return _run_all(args)
+    if args.command == "cache":
+        return _cache_command(args)
     if args.command == "report":
         doc = report.run(
             size=args.size,

@@ -29,7 +29,7 @@ from repro.dsi import DSIPolicy
 from repro.errors import ConfigurationError
 from repro.runner import Runner
 from repro.trace.program import ProgramSet
-from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads import WORKLOAD_NAMES, build_program_set
 
 PolicyFactory = Callable[[int], SelfInvalidationPolicy]
 
@@ -72,8 +72,12 @@ def make_policy_factory(
     )
 
 
-def build_workload(name: str, size: str, **overrides) -> ProgramSet:
-    return get_workload(name, size, **overrides).build()
+def build_workload(
+    name: str, size: str, cache=None, **overrides
+) -> ProgramSet:
+    """Build a workload's trace; pass a
+    :class:`~repro.workloads.TraceCache` to reuse persisted builds."""
+    return build_program_set(name, size, cache=cache, **overrides)
 
 
 def workload_list(workloads: Optional[Iterable[str]]) -> List[str]:

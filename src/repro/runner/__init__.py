@@ -12,7 +12,19 @@ in the cache for the next invocation.
 See README.md ("Runner architecture") for the full design.
 """
 
-from repro.runner.cache import CACHE_SCHEMA, ResultCache
+from repro.runner.cache import (
+    CACHE_SCHEMA,
+    CacheStats,
+    ResultCache,
+    prune_files,
+)
+from repro.runner.claims import (
+    DEFAULT_TTL,
+    ClaimInfo,
+    ClaimStore,
+    FileLock,
+    HeartbeatKeeper,
+)
 from repro.runner.runner import Runner, RunnerStats, execute_spec
 from repro.runner.spec import (
     JobSpec,
@@ -25,6 +37,12 @@ from repro.runner.spec import (
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CacheStats",
+    "ClaimInfo",
+    "ClaimStore",
+    "DEFAULT_TTL",
+    "FileLock",
+    "HeartbeatKeeper",
     "JobSpec",
     "PolicySpec",
     "ResultCache",
@@ -34,5 +52,6 @@ __all__ = [
     "census_job",
     "execute_spec",
     "oracle_job",
+    "prune_files",
     "timing_job",
 ]

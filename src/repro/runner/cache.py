@@ -7,6 +7,10 @@ Layout::
             ab3f...e1.pkl     # pickled report, sha256-named
         cd/
             cd90...77.pkl
+        claims/               # cooperative-mode claim files + lock
+            ef12...9a.claim   #   (see repro.runner.claims)
+        traces/               # ProgramSet build cache (run-all default;
+            ...               #   see repro.workloads.trace_cache)
 
 The key of an entry is ``sha256("repro-cache/<schema>/<salt>/" +
 spec.canonical())``. The *salt* defaults to the package version
@@ -25,17 +29,72 @@ corrupt or unreadable entry is treated as a miss and deleted.
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
-import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Iterable, Optional, Tuple
 
+from repro._fsutil import atomic_write_bytes
 from repro._version import __version__
+from repro.runner.claims import DEFAULT_TTL, ClaimStore
 from repro.runner.spec import JobSpec
 
 #: bump to orphan every existing cache entry on a layout change
 CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate on-disk accounting for one cache directory."""
+
+    entries: int
+    total_bytes: int
+    #: seconds since the least-recently-written entry; 0.0 when empty
+    oldest_age: float
+    #: seconds since the most-recently-written entry; 0.0 when empty
+    newest_age: float
+
+
+def prune_files(
+    paths: Iterable[Path],
+    max_age: Optional[float] = None,
+    max_bytes: Optional[float] = None,
+    now: Optional[float] = None,
+) -> int:
+    """Generic retention sweep over a set of files.
+
+    Deletes every file older (by mtime) than ``max_age`` seconds, then
+    — if the survivors still exceed ``max_bytes`` in total — deletes
+    oldest-first until under budget. Returns the number removed. Files
+    that vanish mid-sweep (a concurrent prune) are skipped silently.
+    """
+    now = time.time() if now is None else now
+    entries = []
+    for path in paths:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort()
+    removed = 0
+    kept = []
+    for mtime, size, path in entries:
+        if max_age is not None and now - mtime > max_age:
+            path.unlink(missing_ok=True)
+            removed += 1
+        else:
+            kept.append((mtime, size, path))
+    if max_bytes is not None:
+        total = sum(size for _, size, _ in kept)
+        for _, size, path in kept:
+            if total <= max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            removed += 1
+            total -= size
+    return removed
 
 
 class ResultCache:
@@ -71,30 +130,66 @@ class ResultCache:
             return False, None
 
     def put(self, spec: JobSpec, value: Any) -> Path:
-        path = self.path(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, suffix=".tmp"
+        return atomic_write_bytes(
+            self.path(spec),
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(
-                    value, handle, protocol=pickle.HIGHEST_PROTOCOL
-                )
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
-        return path
 
     def entries(self) -> int:
         """Number of stored results (any salt)."""
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def entry_paths(self):
+        """Every stored result file (any salt), excluding claims."""
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("*/*.pkl")
+
+    def stats(self, now: Optional[float] = None) -> CacheStats:
+        """On-disk accounting over every entry (any salt)."""
+        now = time.time() if now is None else now
+        count = 0
+        total = 0
+        oldest = newest = None
+        for path in self.entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            count += 1
+            total += stat.st_size
+            if oldest is None or stat.st_mtime < oldest:
+                oldest = stat.st_mtime
+            if newest is None or stat.st_mtime > newest:
+                newest = stat.st_mtime
+        return CacheStats(
+            entries=count,
+            total_bytes=total,
+            oldest_age=max(0.0, now - oldest) if oldest else 0.0,
+            newest_age=max(0.0, now - newest) if newest else 0.0,
+        )
+
+    def prune_by(
+        self,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Retention sweep: drop entries older than ``max_age`` seconds
+        and/or oldest-first down to ``max_bytes``. Returns the number
+        removed. Complements :meth:`prune`, which keeps an explicit
+        grid."""
+        return prune_files(
+            self.entry_paths(), max_age=max_age, max_bytes=max_bytes,
+            now=now,
+        )
+
+    def claim_store(self, ttl: float = DEFAULT_TTL) -> ClaimStore:
+        """The claim protocol rooted in this cache's directory (see
+        :mod:`repro.runner.claims`)."""
+        return ClaimStore(self.root, ttl=ttl)
 
     def prune(self, keep_specs=()) -> int:
         """Delete entries not addressed by ``keep_specs`` under the

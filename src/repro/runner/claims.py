@@ -1,0 +1,347 @@
+"""Advisory claim protocol for cooperating cache-sharing processes.
+
+Multiple ``repro run-all --cooperative`` invocations pointed at one
+``--cache-dir`` use this module to split a grid instead of duplicating
+it. The protocol is deliberately simple — plain files plus one advisory
+lock — so it composes with the existing content-addressed
+:class:`~repro.runner.cache.ResultCache` without a broker process:
+
+* ``<cache-root>/claims/<digest>.claim`` marks the spec whose cache key
+  is ``<digest>`` as *being computed*. The file holds the owner's
+  ``host``/``pid``, a ``created`` stamp, and a ``heartbeat`` stamp the
+  owner refreshes while it works.
+* ``<cache-root>/claims/.lock`` is an advisory exclusive lock
+  (``flock(2)`` where available) serializing every claim mutation, so
+  check-then-create is atomic across processes.
+
+Claim lifecycle::
+
+    PENDING ──acquire()──▶ CLAIMED ──publish result──▶ release() ─▶ DONE
+                              │
+                              │ owner crashes / stops heartbeating
+                              ▼
+                            STALE ──reap()──▶ PENDING (re-claimable)
+
+A claim is **live** while its heartbeat is younger than the store's
+``ttl``; additionally, a claim whose owner ran on *this* host with a
+now-dead pid is treated as stale immediately (crashed owners on the
+same machine are reclaimed without waiting out the ttl). Owners must
+publish the result to the cache *before* releasing the claim, so peers
+never observe "no claim, no result" for work that actually completed.
+
+:class:`HeartbeatKeeper` is a daemon thread that refreshes the owner's
+outstanding claims every ``ttl / 4`` seconds, keeping long-running
+simulations live without threading heartbeat calls through the
+execution path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional
+
+from repro._fsutil import atomic_write_bytes
+
+try:  # POSIX advisory locking; the fallback covers exotic platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+#: subdirectory of a cache root holding claim files
+CLAIMS_DIRNAME = "claims"
+
+#: a claim whose heartbeat is older than this many seconds is stale
+DEFAULT_TTL = 30.0
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a running process on *this* host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # exists but owned by someone else
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class FileLock:
+    """Advisory exclusive lock on a path, usable as a context manager.
+
+    On POSIX this is ``flock(2)``: the kernel releases it when the
+    holder dies, which is exactly the crash-safety the claim protocol
+    needs. Where ``fcntl`` is unavailable the fallback spins on an
+    ``O_EXCL`` lockfile and breaks locks older than ``break_after``
+    seconds.
+    """
+
+    def __init__(self, path, break_after: float = 30.0) -> None:
+        self.path = Path(path)
+        self.break_after = break_after
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "FileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        else:  # pragma: no cover - non-POSIX fallback
+            deadline = time.monotonic() + self.break_after
+            while True:
+                try:
+                    self._fd = os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR
+                    )
+                    break
+                except FileExistsError:
+                    if time.monotonic() > deadline:
+                        self.path.unlink(missing_ok=True)
+                        deadline = time.monotonic() + self.break_after
+                    time.sleep(0.01)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(fd)
+            self.path.unlink(missing_ok=True)
+
+
+@dataclass(frozen=True)
+class ClaimInfo:
+    """One parsed ``<digest>.claim`` file."""
+
+    key: str
+    host: str
+    pid: int
+    heartbeat: float
+    created: float
+
+
+class ClaimStore:
+    """Claim files + advisory lock under ``<root>/claims/``.
+
+    Args:
+        root: the shared cache root (claims live in a subdirectory so
+            they never collide with the two-hex-char result shards).
+        ttl: heartbeat age beyond which a claim counts as stale.
+        owner: ``(host, pid)`` identity recorded in claims this store
+            writes; defaults to the real host/pid. Tests inject fakes.
+        clock: time source (defaults to :func:`time.time`); tests
+            inject a fake to exercise staleness deterministically.
+    """
+
+    def __init__(
+        self,
+        root,
+        ttl: float = DEFAULT_TTL,
+        owner=None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.dir = Path(root) / CLAIMS_DIRNAME
+        self.ttl = ttl
+        self.host, self.pid = owner or (socket.gethostname(), os.getpid())
+        self.clock = clock
+
+    # -- plumbing ------------------------------------------------------
+
+    def _locked(self) -> FileLock:
+        # a fresh FileLock per critical section: the store is shared
+        # between the worker and its heartbeat thread, and each needs
+        # its own fd
+        return FileLock(self.dir / ".lock")
+
+    def path(self, key: str) -> Path:
+        return self.dir / f"{key}.claim"
+
+    def read(self, key: str) -> Optional[ClaimInfo]:
+        """Parse a claim file; unreadable/corrupt counts as absent."""
+        try:
+            data = json.loads(self.path(key).read_text())
+            return ClaimInfo(
+                key=str(data["key"]),
+                host=str(data["host"]),
+                pid=int(data["pid"]),
+                heartbeat=float(data["heartbeat"]),
+                created=float(data["created"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _write(self, key: str, created: float) -> None:
+        # atomic replace so readers (peer stats, `cache stats`) never
+        # see a torn claim
+        payload = {
+            "key": key,
+            "host": self.host,
+            "pid": self.pid,
+            "heartbeat": self.clock(),
+            "created": created,
+        }
+        atomic_write_bytes(
+            self.path(key), json.dumps(payload).encode("utf-8")
+        )
+
+    # -- protocol ------------------------------------------------------
+
+    def owns(self, info: Optional[ClaimInfo]) -> bool:
+        return (
+            info is not None
+            and info.host == self.host
+            and info.pid == self.pid
+        )
+
+    def is_live(self, info: Optional[ClaimInfo]) -> bool:
+        """Live = fresh heartbeat, and (if local) a running owner."""
+        if info is None:
+            return False
+        if self.clock() - info.heartbeat > self.ttl:
+            return False
+        if info.host == self.host and not pid_alive(info.pid):
+            return False
+        return True
+
+    def acquire(self, key: str) -> bool:
+        """Atomically claim ``key``. True iff we now own the claim.
+
+        Succeeds when the key is unclaimed, its claim is stale (the
+        stale claim is overwritten in place), or we already own it
+        (re-acquire refreshes the heartbeat).
+        """
+        with self._locked():
+            info = self.read(key)
+            if info is not None and self.is_live(info) and not self.owns(info):
+                return False
+            created = info.created if self.owns(info) else self.clock()
+            self._write(key, created=created)
+            return True
+
+    def release(self, key: str) -> bool:
+        """Drop our claim on ``key``. True iff we owned and removed it.
+
+        A non-owner release is a no-op: crashed-and-reaped owners must
+        not delete the claim a peer has since taken over.
+        """
+        with self._locked():
+            if not self.owns(self.read(key)):
+                return False
+            self.path(key).unlink(missing_ok=True)
+            return True
+
+    def heartbeat(self, keys: Iterable[str]) -> int:
+        """Refresh the heartbeat on every claim of ours in ``keys``.
+
+        Returns the number refreshed; claims we do not own (reaped and
+        re-claimed by a peer after we stalled) are left untouched.
+        """
+        refreshed = 0
+        with self._locked():
+            for key in keys:
+                info = self.read(key)
+                if self.owns(info):
+                    self._write(key, created=info.created)
+                    refreshed += 1
+        return refreshed
+
+    def reap(self, keys: Optional[Iterable[str]] = None) -> List[str]:
+        """Delete stale claims (all claims on disk when ``keys`` is
+        None) and return the reaped keys."""
+        reaped = []
+        with self._locked():
+            if keys is None:
+                keys = [p.stem for p in sorted(self.dir.glob("*.claim"))]
+            for key in keys:
+                info = self.read(key)
+                if info is not None and not self.is_live(info):
+                    self.path(key).unlink(missing_ok=True)
+                    reaped.append(key)
+        return reaped
+
+    # -- introspection -------------------------------------------------
+
+    def claims(self) -> List[ClaimInfo]:
+        """Every parseable claim on disk (live and stale)."""
+        out = []
+        if self.dir.is_dir():
+            for path in sorted(self.dir.glob("*.claim")):
+                info = self.read(path.stem)
+                if info is not None:
+                    out.append(info)
+        return out
+
+    def partition(self):
+        """``(live, stale)`` claim lists, for stats displays."""
+        live, stale = [], []
+        for info in self.claims():
+            (live if self.is_live(info) else stale).append(info)
+        return live, stale
+
+
+class HeartbeatKeeper:
+    """Daemon thread refreshing a store's outstanding claims.
+
+    Use as a context manager around the execution of claimed work; add
+    keys as they are acquired and discard them after release. The
+    thread wakes every ``interval`` (default ``ttl / 4``) seconds, so
+    claims stay live however long a single simulation runs.
+    """
+
+    def __init__(
+        self, store: ClaimStore, interval: Optional[float] = None
+    ) -> None:
+        self.store = store
+        self.interval = (
+            max(0.05, store.ttl / 4.0) if interval is None else interval
+        )
+        self._keys: set = set()
+        self._mutex = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def add(self, *keys: str) -> None:
+        with self._mutex:
+            self._keys.update(keys)
+
+    def discard(self, *keys: str) -> None:
+        with self._mutex:
+            self._keys.difference_update(keys)
+
+    def held(self) -> List[str]:
+        with self._mutex:
+            return sorted(self._keys)
+
+    def __enter__(self) -> "HeartbeatKeeper":
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="claim-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            keys = self.held()
+            if keys:
+                self.store.heartbeat(keys)

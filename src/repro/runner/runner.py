@@ -14,14 +14,30 @@ sweeps policies over one workload builds the trace once per process.
 3. actual execution — inline when ``jobs == 1``, otherwise on a
    process pool.
 
+With ``cooperative=True`` (requires a cache) execution additionally
+goes through the claim protocol of :mod:`repro.runner.claims`: each
+miss is atomically claimed before running, specs claimed by live peer
+processes are awaited instead of re-executed (their published results
+arrive as ``"peer"`` hits), and claims whose owners crashed are reaped
+and taken over. N cooperating invocations of one grid therefore
+partition it — every unique spec executes exactly once across the
+fleet.
+
+Attaching a :class:`~repro.workloads.trace_cache.TraceCache` makes
+:func:`_programs_for` deserialize persisted ``ProgramSet`` traces
+instead of re-synthesizing them per process (pool workers install the
+cache via the pool initializer).
+
 Results are deterministic: the simulations are seeded and event
 ordering is total, so a spec's report is byte-identical whether it was
-computed serially, in parallel, or read back from the cache.
+computed serially, in parallel, cooperatively, or read back from the
+cache.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -29,28 +45,47 @@ from repro.analysis.sharing import census
 from repro.errors import ConfigurationError
 from repro.protocol.states import ProtocolVariant
 from repro.runner.cache import ResultCache
+from repro.runner.claims import DEFAULT_TTL, ClaimStore, HeartbeatKeeper
 from repro.runner.spec import NULL_POLICY, JobSpec
 from repro.sim import AccuracySimulator
 from repro.timing import TimingSimulator
 from repro.trace.program import ProgramSet
 from repro.trace.scheduler import interleave
-from repro.workloads import get_workload
+from repro.workloads import TraceCache, cached_build, get_workload
 
 #: per-process ProgramSet memo: (workload, size, overrides) -> ProgramSet
 _PROGRAMS: Dict[Tuple, ProgramSet] = {}
 
+#: per-process persistent trace cache consulted by :func:`_programs_for`
+_TRACE_CACHE: Optional[TraceCache] = None
+
 #: progress callback: (done, total, spec, source) with source one of
-#: "memo" | "cache" | "run"
+#: "memo" | "cache" | "run" | "peer"
 ProgressFn = Callable[[int, int, JobSpec, str], None]
+
+
+def _swap_trace_cache(cache: Optional[TraceCache]) -> Optional[TraceCache]:
+    """Install the process-wide trace cache, returning the previous."""
+    global _TRACE_CACHE
+    previous = _TRACE_CACHE
+    _TRACE_CACHE = cache
+    return previous
+
+
+def _worker_init(trace_root: Optional[str]) -> None:
+    """Pool-worker initializer: attach the shared trace cache."""
+    if trace_root:
+        _swap_trace_cache(TraceCache(trace_root))
 
 
 def _programs_for(spec: JobSpec) -> ProgramSet:
     key = (spec.workload, spec.size, spec.overrides)
     programs = _PROGRAMS.get(key)
     if programs is None:
-        programs = get_workload(
+        workload = get_workload(
             spec.workload, spec.size, **dict(spec.overrides)
-        ).build()
+        )
+        programs = cached_build(workload, _TRACE_CACHE)
         _PROGRAMS[key] = programs
     return programs
 
@@ -88,11 +123,16 @@ class RunnerStats:
     dedup_hits: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
+    #: results published by a cooperating peer process while we waited
+    peer_hits: int = 0
     executed: int = 0
 
     @property
     def served_without_execution(self) -> int:
-        return self.dedup_hits + self.memo_hits + self.cache_hits
+        return (
+            self.dedup_hits + self.memo_hits + self.cache_hits
+            + self.peer_hits
+        )
 
     @property
     def cache_fraction(self) -> float:
@@ -107,14 +147,19 @@ class RunnerStats:
             dedup_hits=self.dedup_hits,
             memo_hits=self.memo_hits,
             cache_hits=self.cache_hits,
+            peer_hits=self.peer_hits,
             executed=self.executed,
         )
 
     def summary(self) -> str:
+        peers = (
+            f"{self.peer_hits} from peers, " if self.peer_hits else ""
+        )
         return (
             f"{self.requested} jobs requested: "
             f"{self.executed} executed, "
             f"{self.cache_hits} from disk cache, "
+            f"{peers}"
             f"{self.memo_hits} from memory, "
             f"{self.dedup_hits} duplicates collapsed "
             f"({self.cache_fraction:.0%} served without execution)"
@@ -129,11 +174,23 @@ class Runner:
         jobs: worker process count; 1 runs inline (no pool).
         cache: on-disk result cache, or ``None`` to disable.
         progress: optional per-job callback (done, total, spec, source).
+        cooperative: split misses with peer processes sharing the cache
+            directory via the claim protocol (requires ``cache``).
+        claim_ttl: seconds without a heartbeat before a peer's claim is
+            presumed dead and taken over.
+        poll_interval: seconds between cache polls while waiting on
+            specs claimed by live peers.
+        trace_cache: persistent ``ProgramSet`` build cache; installed
+            process-wide during execution (and in pool workers).
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     progress: Optional[ProgressFn] = None
+    cooperative: bool = False
+    claim_ttl: float = DEFAULT_TTL
+    poll_interval: float = 0.2
+    trace_cache: Optional[TraceCache] = None
     stats: RunnerStats = field(default_factory=RunnerStats)
     _memo: Dict[JobSpec, Any] = field(default_factory=dict)
 
@@ -141,6 +198,11 @@ class Runner:
         if self.jobs < 1:
             raise ConfigurationError(
                 f"jobs must be >= 1, got {self.jobs}"
+            )
+        if self.cooperative and self.cache is None:
+            raise ConfigurationError(
+                "cooperative mode requires a result cache: peers "
+                "coordinate through claim files in its directory"
             )
 
     def run(self, specs: Iterable[JobSpec]) -> Dict[JobSpec, Any]:
@@ -174,42 +236,148 @@ class Runner:
             else:
                 done += 1
                 self._report(done, total, spec, source)
-        for spec, value in self._execute(misses):
+        for spec, value, source in self._resolve(misses):
             results[spec] = self._memo[spec] = value
-            if self.cache is not None:
-                self.cache.put(spec, value)
-            self.stats.executed += 1
+            if source == "run":
+                # (the cooperative path publishes before releasing its
+                # claim, so it has already written the cache entry)
+                if self.cache is not None and not self.cooperative:
+                    self.cache.put(spec, value)
+                self.stats.executed += 1
+            else:  # "peer": published by a cooperating process
+                self.stats.peer_hits += 1
             done += 1
-            self._report(done, total, spec, "run")
+            self._report(done, total, spec, source)
         return results
 
     def run_one(self, spec: JobSpec) -> Any:
         return self.run([spec])[spec]
 
-    def _execute(
+    def _resolve(
         self, misses: List[JobSpec]
+    ) -> Iterable[Tuple[JobSpec, Any, str]]:
+        """Turn misses into (spec, value, source) with source ``"run"``
+        (we executed it) or ``"peer"`` (a cooperating process did)."""
+        if not misses:
+            return
+        if self.cooperative:
+            yield from self._resolve_cooperative(misses)
+            return
+        for spec, value in self._execute(misses):
+            yield spec, value, "run"
+
+    def _resolve_cooperative(
+        self, misses: List[JobSpec]
+    ) -> Iterable[Tuple[JobSpec, Any, str]]:
+        """Partition misses with peers through the claim protocol.
+
+        Each pass over the pending list re-checks the cache (a peer may
+        have published), claims up to ``jobs`` free specs, executes
+        them, and publishes each result *before* releasing its claim.
+        Specs claimed by live peers are left pending; when a full pass
+        makes no progress we sleep briefly and reap claims whose owners
+        have died so their work can be taken over.
+        """
+        store = ClaimStore(self.cache.root, ttl=self.claim_ttl)
+        keys = {spec: self.cache.key(spec) for spec in misses}
+        pending = list(misses)
+        held: Dict[str, JobSpec] = {}
+        batch_cap = max(1, self.jobs)
+        # one long-lived pool across all claim batches: workers keep
+        # their ProgramSet memos and we pay spawn cost once, not once
+        # per batch
+        pool = None
+        try:
+            if self.jobs > 1:
+                pool = multiprocessing.Pool(
+                    processes=self.jobs,
+                    initializer=_worker_init,
+                    initargs=(self._trace_root(),),
+                )
+            with HeartbeatKeeper(store) as keeper:
+                while pending:
+                    progressed = False
+                    deferred: List[JobSpec] = []
+                    claimed: List[JobSpec] = []
+                    for spec in pending:
+                        hit, value = self.cache.get(spec)
+                        if hit:
+                            yield spec, value, "peer"
+                            progressed = True
+                        elif (
+                            len(claimed) < batch_cap
+                            and store.acquire(keys[spec])
+                        ):
+                            keeper.add(keys[spec])
+                            held[keys[spec]] = spec
+                            claimed.append(spec)
+                        else:
+                            deferred.append(spec)
+                    for spec, value in self._execute(claimed, pool=pool):
+                        self.cache.put(spec, value)  # publish, then...
+                        store.release(keys[spec])    # ...free the claim
+                        keeper.discard(keys[spec])
+                        held.pop(keys[spec], None)
+                        yield spec, value, "run"
+                        progressed = True
+                    pending = deferred
+                    if pending and not progressed:
+                        # everything left is claimed by peers: wait,
+                        # and reap any claim whose owner has died
+                        time.sleep(self.poll_interval)
+                        store.reap([keys[spec] for spec in pending])
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            # on an execution error, unclaim whatever we still hold so
+            # peers can pick the specs up instead of waiting out the ttl
+            for key in list(held):
+                store.release(key)
+
+    def _trace_root(self) -> Optional[str]:
+        return str(self.trace_cache.root) if self.trace_cache else None
+
+    def _execute(
+        self, misses: List[JobSpec], pool=None
     ) -> Iterable[Tuple[JobSpec, Any]]:
         if not misses:
             return
-        if self.jobs == 1 or len(misses) == 1:
-            for spec in misses:
-                yield spec, execute_spec(spec)
+        if pool is None and (self.jobs == 1 or len(misses) == 1):
+            previous = _swap_trace_cache(self.trace_cache or _TRACE_CACHE)
+            try:
+                for spec in misses:
+                    yield spec, execute_spec(spec)
+            finally:
+                _swap_trace_cache(previous)
             return
         # group jobs sharing a ProgramSet so each worker's per-process
         # memo rebuilds as few workloads as possible
         ordered = sorted(
             misses, key=lambda s: (s.workload, s.size, s.overrides)
         )
+        if pool is not None:
+            yield from self._pooled(pool, ordered)
+            return
         workers = min(self.jobs, len(ordered))
-        chunksize = max(1, len(ordered) // (workers * 4))
-        with multiprocessing.Pool(processes=workers) as pool:
-            # ordered imap: results stream back as they finish but
-            # pair up with their specs positionally
-            for spec, value in zip(
-                ordered,
-                pool.imap(execute_spec, ordered, chunksize=chunksize),
-            ):
-                yield spec, value
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(self._trace_root(),),
+        ) as fresh:
+            yield from self._pooled(fresh, ordered)
+
+    def _pooled(
+        self, pool, ordered: List[JobSpec]
+    ) -> Iterable[Tuple[JobSpec, Any]]:
+        chunksize = max(1, len(ordered) // (max(1, self.jobs) * 4))
+        # ordered imap: results stream back as they finish but pair up
+        # with their specs positionally
+        for spec, value in zip(
+            ordered,
+            pool.imap(execute_spec, ordered, chunksize=chunksize),
+        ):
+            yield spec, value
 
     def _report(
         self, done: int, total: int, spec: JobSpec, source: str

@@ -23,14 +23,24 @@ from repro.workloads.base import SIZES, Workload, WorkloadParams
 from repro.workloads.registry import (
     WORKLOAD_NAMES,
     available_workloads,
+    build_program_set,
     get_workload,
+)
+from repro.workloads.trace_cache import (
+    TRACE_SCHEMA,
+    TraceCache,
+    cached_build,
 )
 
 __all__ = [
     "SIZES",
+    "TRACE_SCHEMA",
+    "TraceCache",
     "WORKLOAD_NAMES",
     "Workload",
     "WorkloadParams",
     "available_workloads",
+    "build_program_set",
+    "cached_build",
     "get_workload",
 ]

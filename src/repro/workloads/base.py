@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import random
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, Iterator, List
 
 from repro.errors import WorkloadError
@@ -50,6 +51,11 @@ class Workload:
     """
 
     name: str = "workload"
+    #: generator-code version: bump in a subclass whenever its
+    #: ``_generate`` changes the emitted steps, so persisted traces
+    #: (:mod:`repro.workloads.trace_cache`) built by the old generator
+    #: are orphaned instead of served stale
+    builder_version: int = 1
     #: per-size parameter presets; subclasses override entries
     presets: Dict[str, WorkloadParams] = {
         "tiny": WorkloadParams(num_nodes=4, iterations=6, scale=0.1),
@@ -81,6 +87,22 @@ class Workload:
         return cls(params)
 
     # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable identity of the exact ``ProgramSet`` that
+        :meth:`build` returns: workload name, ``builder_version``, and
+        the full parameter set (size presets, seed and overrides are
+        already folded into ``self.params``). Equal fingerprints mean
+        byte-identical builds — the trace-cache content address."""
+        return json.dumps(
+            {
+                "workload": self.name,
+                "builder": self.builder_version,
+                "params": asdict(self.params),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
 
     def build(self) -> ProgramSet:
         """Generate the per-node programs for this parameterization."""

@@ -64,3 +64,14 @@ def get_workload(name: str, size: str = "small", **overrides) -> Workload:
             f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
         )
     return cls.sized(size, **overrides)
+
+
+def build_program_set(
+    name: str, size: str = "small", cache=None, **overrides
+):
+    """Build a workload's :class:`ProgramSet`, optionally through a
+    :class:`~repro.workloads.trace_cache.TraceCache` so repeat builds
+    deserialize the persisted trace instead of re-synthesizing it."""
+    from repro.workloads.trace_cache import cached_build
+
+    return cached_build(get_workload(name, size, **overrides), cache)

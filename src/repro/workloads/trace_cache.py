@@ -1,0 +1,109 @@
+"""Persistent build cache for workload :class:`ProgramSet` traces.
+
+Building a ``ProgramSet`` is pure — the generator is fully determined
+by the workload name, its :class:`~repro.workloads.base.WorkloadParams`
+(which fold in the size preset, the seed, and any overrides), and the
+generator *code* itself. The first two are captured by
+:meth:`Workload.fingerprint`; the third by the per-class
+``builder_version`` counter that workload authors bump whenever
+``_generate`` changes the emitted steps. Hashing the fingerprint gives
+a content address under which the built trace can be pickled once and
+reloaded by every later process::
+
+    <root>/
+        ab/
+            ab3f...e1.pkl     # pickled ProgramSet
+
+Layout and atomicity mirror :class:`repro.runner.cache.ResultCache`
+(temp file + ``os.replace``; corrupt entries degrade to misses), so a
+trace cache can safely live inside a shared result-cache directory —
+``repro run-all`` defaults it to ``<cache-dir>/traces``. Worker
+processes on large grids then deserialize traces instead of
+re-synthesizing them at start-up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro._fsutil import atomic_write_bytes
+from repro.trace.program import ProgramSet
+from repro.workloads.base import Workload
+
+#: bump to orphan every existing trace entry on a layout change
+TRACE_SCHEMA = 1
+
+
+class TraceCache:
+    """Workload-fingerprint -> pickled :class:`ProgramSet` store.
+
+    ``hits`` / ``builds`` count this process's cache outcomes (pool
+    worker processes keep their own counters).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.builds = 0
+
+    def key(self, workload: Workload) -> str:
+        payload = f"repro-trace/{TRACE_SCHEMA}/{workload.fingerprint()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path(self, workload: Workload) -> Path:
+        key = self.key(workload)
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, workload: Workload) -> Tuple[bool, Optional[ProgramSet]]:
+        """Return ``(hit, program_set)``; corrupt entries are misses."""
+        path = self.path(workload)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+            if not isinstance(value, ProgramSet):
+                raise TypeError(f"expected ProgramSet, got {type(value)}")
+            return True, value
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # torn/corrupt/incompatible entry: drop it, rebuild
+            path.unlink(missing_ok=True)
+            return False, None
+
+    def put(self, workload: Workload, programs: ProgramSet) -> Path:
+        return atomic_write_bytes(
+            self.path(workload),
+            pickle.dumps(programs, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def entries(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def total_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.root.glob("*/*.pkl"))
+
+
+def cached_build(
+    workload: Workload, cache: Optional[TraceCache] = None
+) -> ProgramSet:
+    """Build a workload's trace, serving and feeding ``cache``.
+
+    With ``cache=None`` this is exactly ``workload.build()``.
+    """
+    if cache is None:
+        return workload.build()
+    hit, programs = cache.get(workload)
+    if hit:
+        cache.hits += 1
+        return programs
+    programs = workload.build()
+    cache.builds += 1
+    cache.put(workload, programs)
+    return programs

@@ -1,0 +1,227 @@
+"""Concurrency stress tests for cooperative grid execution.
+
+The headline test launches three real processes against one shared
+cache directory on the same grid and asserts the claim protocol's
+contract: every unique JobSpec executes exactly once across the fleet,
+every process ends holding the complete result set byte-identical to a
+serial run, and no claim files survive the run.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.runner import (
+    ClaimStore,
+    PolicySpec,
+    ResultCache,
+    Runner,
+    accuracy_job,
+    census_job,
+    execute_spec,
+    oracle_job,
+    timing_job,
+)
+
+SIZE = "tiny"
+
+
+def _grid():
+    return [
+        timing_job("em3d", SIZE, PolicySpec(name=p))
+        for p in ("base", "dsi", "ltp")
+    ] + [
+        accuracy_job("em3d", SIZE, PolicySpec(name="ltp", bits=13)),
+        oracle_job("em3d", SIZE),
+        census_job("em3d", SIZE),
+        census_job("tomcatv", SIZE),
+    ]
+
+
+def _digest(value) -> str:
+    return hashlib.sha256(pickle.dumps(value)).hexdigest()
+
+
+def _cooperative_worker(cache_dir: str, out_path: str) -> None:
+    """One fleet member: run the whole grid cooperatively, then write
+    its accounting + result digests for the parent to check."""
+    runner = Runner(
+        cooperative=True,
+        cache=ResultCache(cache_dir),
+        poll_interval=0.02,
+        claim_ttl=20.0,
+    )
+    results = runner.run(_grid())
+    payload = {
+        "executed": runner.stats.executed,
+        "peer_hits": runner.stats.peer_hits,
+        "cache_hits": runner.stats.cache_hits,
+        "digests": {
+            spec.canonical(): _digest(value)
+            for spec, value in results.items()
+        },
+    }
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle)
+
+
+@pytest.fixture(scope="module")
+def serial_golden():
+    """Fresh serial, uncached run of the grid — the byte-level oracle."""
+    results = Runner().run(_grid())
+    return {
+        spec.canonical(): _digest(value)
+        for spec, value in results.items()
+    }
+
+
+class TestThreeProcessStress:
+    def test_fleet_splits_grid_exactly_once(
+        self, tmp_path, serial_golden
+    ):
+        cache_dir = tmp_path / "shared-cache"
+        ctx = multiprocessing.get_context("fork")
+        outs = [tmp_path / f"worker-{i}.json" for i in range(3)]
+        procs = [
+            ctx.Process(
+                target=_cooperative_worker,
+                args=(str(cache_dir), str(out)),
+            )
+            for out in outs
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=300)
+            assert proc.exitcode == 0, "cooperative worker crashed"
+
+        reports = [json.loads(out.read_text()) for out in outs]
+        grid = _grid()
+
+        # every unique job executed exactly once across the fleet
+        assert sum(r["executed"] for r in reports) == len(grid)
+
+        # each process holds the complete grid, byte-identical to the
+        # serial run (digest of the pickled report)
+        for r in reports:
+            assert r["digests"] == serial_golden
+            # accounting balances: everything not executed locally was
+            # observed via a peer (or an initial cache hit on restart)
+            assert (
+                r["executed"] + r["peer_hits"] + r["cache_hits"]
+                == len(grid)
+            )
+
+        # no claim files leak
+        claims_dir = cache_dir / "claims"
+        assert list(claims_dir.glob("*.claim")) == []
+
+        # the shared cache holds exactly the grid
+        assert ResultCache(cache_dir).entries() == len(grid)
+
+    def test_restart_after_fleet_is_all_cache_hits(
+        self, tmp_path, serial_golden
+    ):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "first.json"
+        _cooperative_worker(str(cache_dir), str(out))
+        late = Runner(
+            cooperative=True,
+            cache=ResultCache(cache_dir),
+            poll_interval=0.02,
+        )
+        results = late.run(_grid())
+        assert late.stats.executed == 0
+        assert late.stats.cache_hits == len(_grid())
+        assert {
+            spec.canonical(): _digest(value)
+            for spec, value in results.items()
+        } == serial_golden
+
+
+class TestClaimRecovery:
+    def test_stale_claim_from_crashed_owner_is_taken_over(
+        self, tmp_path, serial_golden
+    ):
+        """A claim whose owner stopped heartbeating (simulated crash)
+        must not block the grid: the survivor reaps and executes it."""
+        cache = ResultCache(tmp_path)
+        spec = census_job("em3d", SIZE)
+        # forge a claim from a "crashed" remote process: fake host (so
+        # the pid fast-path can't apply) and an hour-old heartbeat
+        crashed = ClaimStore(
+            tmp_path, ttl=0.5, owner=("host-crashed", 1),
+            clock=lambda: time.time() - 3600,
+        )
+        assert crashed.acquire(cache.key(spec))
+        runner = Runner(
+            cooperative=True, cache=cache,
+            poll_interval=0.02, claim_ttl=0.5,
+        )
+        results = runner.run(_grid())
+        assert runner.stats.executed == len(_grid())
+        assert _digest(results[spec]) == serial_golden[spec.canonical()]
+        assert list((tmp_path / "claims").glob("*.claim")) == []
+
+    def test_waits_for_live_peer_then_serves_its_result(self, tmp_path):
+        """While a live peer holds a claim, the runner polls instead of
+        re-executing, and picks the result up once published."""
+        cache = ResultCache(tmp_path)
+        spec = census_job("em3d", SIZE)
+        key = cache.key(spec)
+        peer = ClaimStore(tmp_path, ttl=30.0, owner=("host-peer", 1))
+        assert peer.acquire(key)
+
+        value = execute_spec(spec)
+
+        def publish_later():
+            time.sleep(0.4)
+            cache.put(spec, value)
+            peer.release(key)
+
+        thread = threading.Thread(target=publish_later)
+        thread.start()
+        try:
+            runner = Runner(
+                cooperative=True, cache=cache, poll_interval=0.02,
+                claim_ttl=30.0,
+            )
+            results = runner.run(_grid())
+        finally:
+            thread.join()
+        assert runner.stats.peer_hits == 1
+        assert runner.stats.executed == len(_grid()) - 1
+        assert pickle.dumps(results[spec]) == pickle.dumps(value)
+
+    def test_cooperative_with_pool_matches_serial(
+        self, tmp_path, serial_golden
+    ):
+        """jobs>1 in cooperative mode runs claim batches on one
+        long-lived pool; results must still be byte-identical and
+        claims must not leak."""
+        runner = Runner(
+            jobs=2, cooperative=True, cache=ResultCache(tmp_path),
+            poll_interval=0.02,
+        )
+        results = runner.run(_grid())
+        assert runner.stats.executed == len(_grid())
+        assert {
+            spec.canonical(): _digest(value)
+            for spec, value in results.items()
+        } == serial_golden
+        assert list((tmp_path / "claims").glob("*.claim")) == []
+
+    def test_execution_error_releases_held_claims(self, tmp_path):
+        """If execution raises, claims must be freed so peers can take
+        the specs over immediately instead of waiting out the ttl."""
+        cache = ResultCache(tmp_path)
+        runner = Runner(cooperative=True, cache=cache, poll_interval=0.02)
+        bad = census_job("em3d", SIZE, overrides={"num_nodes": 1})
+        with pytest.raises(Exception):
+            runner.run([bad])
+        assert list((tmp_path / "claims").glob("*.claim")) == []

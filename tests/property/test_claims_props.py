@@ -1,0 +1,198 @@
+"""Property-based tests for the claim state machine.
+
+A model-based :class:`RuleBasedStateMachine` drives two actors (fake
+hosts sharing one claims directory) through arbitrary interleavings of
+``acquire`` / ``release`` / ``heartbeat`` / ``reap`` and clock
+advances, checking the store against a reference model after every
+step. Crash-mid-claim shows up as an actor that simply stops
+heartbeating: once the clock passes the ttl its claims become
+reclaimable by the peer and reapable by anyone — exactly the stale
+transitions the model encodes.
+"""
+
+import os
+import shutil
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.runner.claims import ClaimStore
+
+KEYS = ("k1", "k2", "k3")
+ACTORS = ("A", "B")
+TTL = 10.0
+
+
+class ClaimMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tmp = tempfile.mkdtemp(prefix="claims-props-")
+        self.now = 1_000.0
+        clock = lambda: self.now  # noqa: E731 - shared mutable clock
+        # fake hosts ≠ the real host, so liveness is governed purely by
+        # the heartbeat ttl (the dead-pid fast path never fires); the
+        # pid is this live process so owns() still distinguishes actors
+        # by host
+        self.stores = {
+            name: ClaimStore(
+                self.tmp,
+                ttl=TTL,
+                owner=(f"host-{name}", os.getpid()),
+                clock=clock,
+            )
+            for name in ACTORS
+        }
+        #: reference model: key -> (actor, last_heartbeat_time)
+        self.model = {}
+
+    def teardown(self):
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    # -- model helpers -------------------------------------------------
+
+    def _owner(self, key):
+        entry = self.model.get(key)
+        return entry[0] if entry else None
+
+    def _live(self, key):
+        entry = self.model.get(key)
+        return entry is not None and self.now - entry[1] <= TTL
+
+    # -- rules ---------------------------------------------------------
+
+    @rule(actor=st.sampled_from(ACTORS), key=st.sampled_from(KEYS))
+    def acquire(self, actor, key):
+        got = self.stores[actor].acquire(key)
+        # acquirable iff free, stale, or already ours
+        expected = (
+            not self._live(key) or self._owner(key) == actor
+        )
+        assert got == expected, (
+            f"acquire({actor},{key}) -> {got}, model {self.model}"
+        )
+        if got:
+            self.model[key] = (actor, self.now)
+
+    @rule(actor=st.sampled_from(ACTORS), key=st.sampled_from(KEYS))
+    def release(self, actor, key):
+        got = self.stores[actor].release(key)
+        # releasable iff ours — even when stale: until someone reaps
+        # or takes over, the claim file still records us as owner
+        expected = self._owner(key) == actor
+        assert got == expected
+        if got:
+            del self.model[key]
+
+    @rule(actor=st.sampled_from(ACTORS), key=st.sampled_from(KEYS))
+    def heartbeat(self, actor, key):
+        refreshed = self.stores[actor].heartbeat([key])
+        expected = 1 if self._owner(key) == actor else 0
+        assert refreshed == expected
+        if refreshed:
+            self.model[key] = (actor, self.now)
+
+    @rule(actor=st.sampled_from(ACTORS), key=st.sampled_from(KEYS))
+    def reap_one(self, actor, key):
+        reaped = self.stores[actor].reap([key])
+        if self.model.get(key) is not None and not self._live(key):
+            assert reaped == [key]
+            del self.model[key]
+        else:
+            assert reaped == []
+
+    @rule(actor=st.sampled_from(ACTORS))
+    def reap_all(self, actor):
+        reaped = self.stores[actor].reap()
+        expected = sorted(
+            key for key in self.model if not self._live(key)
+        )
+        assert sorted(reaped) == expected
+        for key in reaped:
+            del self.model[key]
+
+    @rule(dt=st.floats(min_value=0.0, max_value=1.5 * TTL))
+    def advance_clock(self, dt):
+        # crossing the ttl here is the crash-mid-claim transition: an
+        # owner that stops heartbeating silently goes stale
+        self.now += dt
+
+    # -- invariants ----------------------------------------------------
+
+    @invariant()
+    def disk_matches_model(self):
+        store = self.stores["A"]
+        on_disk = {info.key: info for info in store.claims()}
+        assert set(on_disk) == set(self.model), (
+            f"claim files {set(on_disk)} != model {set(self.model)}"
+        )
+        for key, info in on_disk.items():
+            actor, hb = self.model[key]
+            assert info.host == f"host-{actor}"
+            assert info.heartbeat == hb
+
+    @invariant()
+    def liveness_agrees(self):
+        store = self.stores["A"]
+        for key in KEYS:
+            assert store.is_live(store.read(key)) == self._live(key)
+
+    @invariant()
+    def at_most_one_owner_per_key(self):
+        # trivially true on a filesystem (one file per key), but keeps
+        # the mutual-exclusion contract explicit should the storage
+        # layer ever change
+        for key in KEYS:
+            owners = [
+                a for a in ACTORS
+                if self.stores[a].owns(self.stores[a].read(key))
+            ]
+            assert len(owners) <= 1
+
+
+TestClaimMachine = ClaimMachine.TestCase
+TestClaimMachine.settings = settings(
+    max_examples=40,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    order=st.permutations(list(range(6))),
+    keys=st.lists(
+        st.sampled_from(KEYS), min_size=6, max_size=6
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_acquire_is_exclusive_per_round(order, keys):
+    """However acquire attempts from two actors interleave, each key
+    has at most one owner and every attempted key ends up owned."""
+    tmp = tempfile.mkdtemp(prefix="claims-excl-")
+    try:
+        stores = [
+            ClaimStore(tmp, ttl=60.0, owner=(f"h{i}", os.getpid()))
+            for i in range(2)
+        ]
+        granted = {}
+        # 6 attempts: attempt i comes from actor i % 2 on keys[i],
+        # executed in the generated order
+        for i in order:
+            actor = i % 2
+            key = keys[i]
+            if stores[actor].acquire(key):
+                granted.setdefault(key, []).append(actor)
+        for key in set(keys):
+            owners = granted.get(key, [])
+            assert len(owners) >= 1
+            # every later grant of the same key must be a re-acquire by
+            # the same actor, never a steal of a live claim
+            assert len(set(owners)) == 1
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,250 @@
+"""Tests for cache maintenance: ResultCache.stats()/prune_by(), the
+`repro cache {stats,prune}` CLI, and the run-all cooperative/trace
+cache flag plumbing."""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.cli import (
+    _parse_age,
+    _parse_bytes,
+    _runner_from_args,
+    build_parser,
+    main,
+)
+from repro.runner import (
+    ClaimStore,
+    ResultCache,
+    census_job,
+    execute_spec,
+)
+
+SIZE = "tiny"
+
+
+def _populate(cache, names=("em3d", "tomcatv")):
+    specs = [census_job(name, SIZE) for name in names]
+    for spec in specs:
+        cache.put(spec, execute_spec(spec))
+    return specs
+
+
+class TestResultCacheStats:
+    def test_empty(self, tmp_path):
+        stats = ResultCache(tmp_path).stats()
+        assert stats.entries == 0
+        assert stats.total_bytes == 0
+        assert stats.oldest_age == stats.newest_age == 0.0
+
+    def test_counts_and_ages(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = _populate(cache)
+        old = time.time() - 7200
+        os.utime(cache.path(specs[0]), (old, old))
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.oldest_age == pytest.approx(7200, abs=60)
+        assert stats.newest_age < 60
+
+    def test_claims_do_not_count_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _populate(cache)
+        ClaimStore(tmp_path).acquire("deadbeef")
+        assert cache.stats().entries == 2
+
+
+class TestPruneBy:
+    def test_max_age(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = _populate(cache)
+        old = time.time() - 7200
+        os.utime(cache.path(specs[0]), (old, old))
+        assert cache.prune_by(max_age=3600) == 1
+        assert not cache.get(specs[0])[0]
+        assert cache.get(specs[1])[0]
+
+    def test_max_bytes_drops_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = _populate(cache, ("em3d", "tomcatv", "moldyn"))
+        now = time.time()
+        for i, spec in enumerate(specs):
+            stamp = now - (len(specs) - i) * 1000
+            os.utime(cache.path(spec), (stamp, stamp))
+        newest_size = cache.path(specs[-1]).stat().st_size
+        removed = cache.prune_by(max_bytes=newest_size)
+        assert removed == 2
+        assert cache.get(specs[-1])[0], "newest entry must survive"
+
+    def test_no_limits_is_a_no_op(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _populate(cache)
+        assert cache.prune_by() == 0
+        assert cache.entries() == 2
+
+
+class TestCacheCli:
+    def test_stats_output(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _populate(cache)
+        store = ClaimStore(tmp_path, ttl=10.0)
+        store.acquire("live0000")
+        stale = ClaimStore(
+            tmp_path, ttl=10.0, owner=("host-x", 1),
+            clock=lambda: time.time() - 3600,
+        )
+        stale.acquire("stale000")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "1 live, 1 stale" in out
+        assert "traces" in out
+
+    def test_prune_sweeps_age_and_stale_claims(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        specs = _populate(cache)
+        old = time.time() - 7200
+        os.utime(cache.path(specs[0]), (old, old))
+        ClaimStore(
+            tmp_path, owner=("host-x", 1),
+            clock=lambda: time.time() - 3600,
+        ).acquire("stale000")
+        code = main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-age", "1h",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 cached files" in out
+        assert "swept 1 stale claims" in out
+        assert cache.entries() == 1
+        assert list((tmp_path / "claims").glob("*.claim")) == []
+
+    def test_prune_respects_live_claims(self, tmp_path, capsys):
+        ClaimStore(tmp_path).acquire("live0000")
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-age", "1h",
+        ]) == 0
+        assert len(list((tmp_path / "claims").glob("*.claim"))) == 1
+
+    def test_prune_max_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _populate(cache, ("em3d", "tomcatv", "moldyn"))
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-bytes", "0",
+        ]) == 0
+        assert cache.entries() == 0
+
+    def test_prune_max_bytes_budget_spans_results_and_traces(
+        self, tmp_path
+    ):
+        """--max-bytes bounds results + traces combined, not each."""
+        from repro.workloads import TraceCache, cached_build, get_workload
+
+        cache = ResultCache(tmp_path)
+        _populate(cache)
+        traces = TraceCache(tmp_path / "traces")
+        cached_build(get_workload("em3d", SIZE), traces)
+        total = (
+            cache.stats().total_bytes + traces.total_bytes()
+        )
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-bytes", str(total - 1),
+        ]) == 0
+        remaining = (
+            ResultCache(tmp_path).stats().total_bytes
+            + TraceCache(tmp_path / "traces").total_bytes()
+        )
+        assert remaining <= total - 1
+
+    def test_stats_and_prune_honor_trace_cache_flag(
+        self, tmp_path, capsys
+    ):
+        from repro.workloads import TraceCache, cached_build, get_workload
+
+        custom = tmp_path / "elsewhere"
+        cached_build(get_workload("em3d", SIZE), TraceCache(custom))
+        assert main([
+            "cache", "stats", "--cache-dir", str(tmp_path / "cache"),
+            "--trace-cache", str(custom),
+        ]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path / "cache"),
+            "--max-age", "0s", "--trace-cache", str(custom),
+        ]) == 0
+        assert TraceCache(custom).entries() == 0
+
+
+class TestParsers:
+    def test_parse_age(self):
+        assert _parse_age("90") == 90.0
+        assert _parse_age("90s") == 90.0
+        assert _parse_age("30m") == 1800.0
+        assert _parse_age("36h") == 36 * 3600.0
+        assert _parse_age("7d") == 7 * 86400.0
+
+    def test_parse_bytes(self):
+        assert _parse_bytes("1048576") == 1048576
+        assert _parse_bytes("500K") == 500 * 1024
+        assert _parse_bytes("500M") == 500 * 2**20
+        assert _parse_bytes("2G") == 2 * 2**30
+        assert _parse_bytes("2GiB") == 2 * 2**30
+
+
+class TestRunAllFlags:
+    def test_cooperative_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run-all", "--cooperative", "--cache-dir", "/tmp/x"]
+        )
+        assert args.cooperative
+        assert args.claim_ttl > 0
+
+    def test_runner_from_args_wires_cooperation(self, tmp_path):
+        args = build_parser().parse_args([
+            "run-all", "--cooperative",
+            "--cache-dir", str(tmp_path), "--claim-ttl", "5",
+        ])
+        runner = _runner_from_args(args)
+        assert runner.cooperative
+        assert runner.claim_ttl == 5.0
+        assert runner.cache is not None
+        # run-all defaults the trace cache inside the result cache
+        assert runner.trace_cache is not None
+        assert runner.trace_cache.root == tmp_path / "traces"
+
+    def test_no_cache_disables_defaulted_trace_cache(self, tmp_path):
+        args = build_parser().parse_args([
+            "run-all", "--cache-dir", str(tmp_path), "--no-cache",
+        ])
+        runner = _runner_from_args(args)
+        assert runner.cache is None and runner.trace_cache is None
+
+    def test_explicit_trace_cache_survives_no_cache(self, tmp_path):
+        # --no-cache disables only the *result* cache
+        args = build_parser().parse_args([
+            "run-all", "--cache-dir", str(tmp_path), "--no-cache",
+            "--trace-cache", str(tmp_path / "t"),
+        ])
+        runner = _runner_from_args(args)
+        assert runner.cache is None
+        assert runner.trace_cache is not None
+        assert runner.trace_cache.root == tmp_path / "t"
+
+    def test_explicit_trace_cache_dir(self, tmp_path):
+        args = build_parser().parse_args([
+            "fig9", "--trace-cache", str(tmp_path / "t"),
+        ])
+        runner = _runner_from_args(args)
+        assert runner.trace_cache is not None
+        assert runner.trace_cache.root == tmp_path / "t"
+
+    def test_cooperative_without_cache_is_an_error(self, capsys):
+        code = main(["run-all", "--cooperative", "--no-cache"])
+        assert code == 2
+        assert "--cooperative requires" in capsys.readouterr().err

@@ -1,0 +1,245 @@
+"""Unit tests for the cooperative claim protocol: acquire/release
+ownership rules, staleness (heartbeat ttl and dead-pid fast path),
+reaping, heartbeat refresh, and advisory-lock mutual exclusion."""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+
+from repro.runner.claims import (
+    ClaimStore,
+    FileLock,
+    HeartbeatKeeper,
+    pid_alive,
+)
+
+HOST = socket.gethostname()
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def two_stores(root, ttl=10.0):
+    """Two actors sharing one claims dir. Distinct fake hosts so
+    ownership is decided by identity, and the dead-pid fast path never
+    fires (each actor's pid is the live test process)."""
+    clock = FakeClock()
+    a = ClaimStore(root, ttl=ttl, owner=("host-a", os.getpid()), clock=clock)
+    b = ClaimStore(root, ttl=ttl, owner=("host-b", os.getpid()), clock=clock)
+    return a, b, clock
+
+
+class TestAcquireRelease:
+    def test_acquire_free_key(self, tmp_path):
+        a, b, clock = two_stores(tmp_path)
+        assert a.acquire("k1")
+        assert a.path("k1").is_file()
+        info = a.read("k1")
+        assert info.host == "host-a" and a.owns(info)
+
+    def test_live_claim_blocks_peer(self, tmp_path):
+        a, b, clock = two_stores(tmp_path)
+        assert a.acquire("k1")
+        assert not b.acquire("k1")
+        # the failed acquire must not clobber a's claim
+        assert a.owns(a.read("k1"))
+
+    def test_reacquire_own_claim_refreshes_heartbeat(self, tmp_path):
+        a, b, clock = two_stores(tmp_path)
+        assert a.acquire("k1")
+        first = a.read("k1")
+        clock.advance(5.0)
+        assert a.acquire("k1")
+        second = a.read("k1")
+        assert second.heartbeat > first.heartbeat
+        assert second.created == first.created
+
+    def test_release_requires_ownership(self, tmp_path):
+        a, b, clock = two_stores(tmp_path)
+        assert a.acquire("k1")
+        assert not b.release("k1")
+        assert a.path("k1").is_file()
+        assert a.release("k1")
+        assert not a.path("k1").is_file()
+        # releasing again is a no-op
+        assert not a.release("k1")
+
+    def test_distinct_keys_are_independent(self, tmp_path):
+        a, b, clock = two_stores(tmp_path)
+        assert a.acquire("k1")
+        assert b.acquire("k2")
+        assert not a.acquire("k2")
+        assert not b.acquire("k1")
+
+
+class TestStaleness:
+    def test_stale_heartbeat_allows_takeover(self, tmp_path):
+        a, b, clock = two_stores(tmp_path, ttl=10.0)
+        assert a.acquire("k1")
+        clock.advance(10.1)
+        assert not b.is_live(b.read("k1"))
+        assert b.acquire("k1")
+        assert b.owns(b.read("k1"))
+
+    def test_heartbeat_keeps_claim_live(self, tmp_path):
+        a, b, clock = two_stores(tmp_path, ttl=10.0)
+        assert a.acquire("k1")
+        for _ in range(5):
+            clock.advance(6.0)
+            assert a.heartbeat(["k1"]) == 1
+        assert not b.acquire("k1")
+
+    def test_heartbeat_skips_claims_we_lost(self, tmp_path):
+        a, b, clock = two_stores(tmp_path, ttl=10.0)
+        assert a.acquire("k1")
+        clock.advance(11.0)
+        assert b.acquire("k1")  # takeover of a's stale claim
+        assert a.heartbeat(["k1"]) == 0
+        assert b.owns(b.read("k1"))
+
+    def test_dead_pid_on_this_host_is_stale_immediately(self, tmp_path):
+        # a real process that has already exited gives us a dead pid
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        assert not pid_alive(proc.pid)
+        crashed = ClaimStore(tmp_path, ttl=1e9, owner=(HOST, proc.pid))
+        assert crashed.acquire("k1")
+        survivor = ClaimStore(tmp_path, ttl=1e9, owner=(HOST, os.getpid()))
+        # heartbeat is fresh (huge ttl) but the owner is dead
+        assert not survivor.is_live(survivor.read("k1"))
+        assert survivor.acquire("k1")
+
+    def test_dead_pid_on_other_host_waits_out_ttl(self, tmp_path):
+        a, b, clock = two_stores(tmp_path, ttl=10.0)
+        # pid liveness cannot be checked cross-host, so a fresh claim
+        # from another host is live regardless of its pid
+        (tmp_path / "claims").mkdir(exist_ok=True)
+        a.path("k1").write_text(json.dumps({
+            "key": "k1", "host": "host-elsewhere", "pid": -1,
+            "heartbeat": a.clock(), "created": a.clock(),
+        }))
+        assert not b.acquire("k1")
+        clock.advance(10.1)
+        assert b.acquire("k1")
+
+
+class TestReap:
+    def test_reap_removes_only_stale(self, tmp_path):
+        a, b, clock = two_stores(tmp_path, ttl=10.0)
+        assert a.acquire("old")
+        clock.advance(11.0)
+        assert a.acquire("fresh")
+        reaped = b.reap()
+        assert reaped == ["old"]
+        assert not b.path("old").exists()
+        assert b.path("fresh").is_file()
+
+    def test_reap_specific_keys(self, tmp_path):
+        a, b, clock = two_stores(tmp_path, ttl=10.0)
+        assert a.acquire("k1")
+        assert a.acquire("k2")
+        clock.advance(11.0)
+        assert b.reap(["k1"]) == ["k1"]
+        assert b.path("k2").is_file()
+
+    def test_corrupt_claim_reads_as_absent(self, tmp_path):
+        a, b, clock = two_stores(tmp_path)
+        (tmp_path / "claims").mkdir(exist_ok=True)
+        a.path("k1").write_text("{not json")
+        assert a.read("k1") is None
+        assert b.acquire("k1")  # corrupt claim does not block
+
+    def test_partition_and_claims_listing(self, tmp_path):
+        a, b, clock = two_stores(tmp_path, ttl=10.0)
+        assert a.acquire("old")
+        clock.advance(11.0)
+        assert b.acquire("fresh")
+        live, stale = a.partition()
+        assert [c.key for c in live] == ["fresh"]
+        assert [c.key for c in stale] == ["old"]
+        assert {c.key for c in a.claims()} == {"old", "fresh"}
+
+
+class TestFileLock:
+    def test_lock_serializes_read_modify_write(self, tmp_path):
+        """Unsynchronized read-modify-write would lose increments; the
+        advisory lock must serialize them across threads (each entry
+        opens its own fd, as separate processes would)."""
+        counter = tmp_path / "counter"
+        counter.write_text("0")
+        lock_path = tmp_path / "lock"
+        rounds = 50
+
+        def bump():
+            for _ in range(rounds):
+                with FileLock(lock_path):
+                    value = int(counter.read_text())
+                    counter.write_text(str(value + 1))
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert int(counter.read_text()) == 4 * rounds
+
+    def test_concurrent_acquires_elect_one_owner_per_key(self, tmp_path):
+        """Many actors racing on the same key set: exactly one winner
+        per key, every key won."""
+        keys = [f"k{i}" for i in range(6)]
+        wins = {}
+        mutex = threading.Lock()
+
+        def actor(ident):
+            store = ClaimStore(
+                tmp_path, ttl=60.0, owner=(f"host-{ident}", os.getpid())
+            )
+            for key in keys:
+                if store.acquire(key):
+                    with mutex:
+                        wins.setdefault(key, []).append(ident)
+
+        threads = [
+            threading.Thread(target=actor, args=(i,)) for i in range(5)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(wins) == sorted(keys)
+        assert all(len(owners) == 1 for owners in wins.values())
+
+
+class TestHeartbeatKeeper:
+    def test_keeper_refreshes_held_claims(self, tmp_path):
+        store = ClaimStore(tmp_path, ttl=60.0)
+        assert store.acquire("k1")
+        before = store.read("k1").heartbeat
+        with HeartbeatKeeper(store, interval=0.02) as keeper:
+            keeper.add("k1")
+            deadline = 100
+            while store.read("k1").heartbeat == before and deadline:
+                deadline -= 1
+                threading.Event().wait(0.02)
+        assert store.read("k1").heartbeat > before
+
+    def test_keeper_ignores_discarded_keys(self, tmp_path):
+        store = ClaimStore(tmp_path, ttl=60.0)
+        assert store.acquire("k1")
+        with HeartbeatKeeper(store, interval=0.02) as keeper:
+            keeper.add("k1")
+            keeper.discard("k1")
+            assert keeper.held() == []
+        # exiting the context stops the thread; nothing to assert
+        # beyond a clean join (no exception)

@@ -1,0 +1,191 @@
+"""Tests for the persistent ProgramSet build cache: golden event-level
+equality of cache hits, invalidation on builder-version/seed/param
+changes, corruption handling, and the runner integration that lets a
+warm cache skip every build in a fresh process."""
+
+import dataclasses
+import pickle
+
+from repro.runner import runner as runner_module
+from repro.runner import (
+    PolicySpec,
+    Runner,
+    accuracy_job,
+    census_job,
+    timing_job,
+)
+from repro.workloads import (
+    TraceCache,
+    build_program_set,
+    cached_build,
+    get_workload,
+)
+
+WORKLOAD = "em3d"
+SIZE = "tiny"
+
+
+def assert_event_identical(a, b):
+    """Event-for-event structural equality of two ProgramSets (slots
+    dataclasses don't define __eq__ across instances usefully for
+    steps, so compare field dicts)."""
+    assert a.name == b.name
+    assert a.num_nodes == b.num_nodes
+    assert sorted(a.programs) == sorted(b.programs)
+    for node in a.programs:
+        steps_a = a.programs[node].steps
+        steps_b = b.programs[node].steps
+        assert len(steps_a) == len(steps_b), f"node {node} length"
+        for i, (sa, sb) in enumerate(zip(steps_a, steps_b)):
+            assert type(sa) is type(sb), f"node {node} step {i}"
+            fields = [f.name for f in dataclasses.fields(sa)]
+            for name in fields:
+                assert getattr(sa, name) == getattr(sb, name), (
+                    f"node {node} step {i} field {name}"
+                )
+
+
+class TestGoldenTraces:
+    def test_cache_hit_is_event_for_event_identical(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        fresh = get_workload(WORKLOAD, SIZE).build()
+        first = cached_build(get_workload(WORKLOAD, SIZE), cache)
+        assert cache.builds == 1 and cache.hits == 0
+        second = cached_build(get_workload(WORKLOAD, SIZE), cache)
+        assert cache.builds == 1 and cache.hits == 1
+        assert_event_identical(fresh, first)
+        assert_event_identical(fresh, second)
+        # and byte-identical once pickled (what workers actually load)
+        assert pickle.dumps(fresh) == pickle.dumps(second)
+
+    def test_every_workload_round_trips(self, tmp_path):
+        # the full Table 2 set at tiny size: pickling must preserve all
+        # step types every generator emits
+        from repro.workloads import WORKLOAD_NAMES
+
+        cache = TraceCache(tmp_path)
+        for name in WORKLOAD_NAMES:
+            fresh = get_workload(name, SIZE).build()
+            cached_build(get_workload(name, SIZE), cache)
+            reloaded = cached_build(get_workload(name, SIZE), cache)
+            assert_event_identical(fresh, reloaded)
+        assert cache.entries() == len(WORKLOAD_NAMES)
+
+
+class TestInvalidation:
+    def test_seed_changes_key(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        base = get_workload(WORKLOAD, SIZE)
+        reseeded = get_workload(WORKLOAD, SIZE, seed=99)
+        assert cache.key(base) != cache.key(reseeded)
+        cached_build(base, cache)
+        hit, _ = cache.get(reseeded)
+        assert not hit
+
+    def test_builder_version_changes_key(self, tmp_path, monkeypatch):
+        cache = TraceCache(tmp_path)
+        workload = get_workload(WORKLOAD, SIZE)
+        old_key = cache.key(workload)
+        cached_build(workload, cache)
+        monkeypatch.setattr(
+            type(workload), "builder_version",
+            type(workload).builder_version + 1,
+        )
+        bumped = get_workload(WORKLOAD, SIZE)
+        assert cache.key(bumped) != old_key
+        hit, _ = cache.get(bumped)
+        assert not hit, "bumping builder_version must orphan old traces"
+        rebuilt = cached_build(bumped, cache)
+        assert cache.builds == 2
+        assert_event_identical(rebuilt, workload.build())
+
+    def test_size_and_param_overrides_change_key(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        keys = {
+            cache.key(get_workload(WORKLOAD, "tiny")),
+            cache.key(get_workload(WORKLOAD, "small")),
+            cache.key(get_workload(WORKLOAD, "tiny", num_nodes=8)),
+            cache.key(get_workload(WORKLOAD, "tiny", iterations=3)),
+        }
+        assert len(keys) == 4
+
+    def test_workload_name_distinguishes(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert cache.key(get_workload("em3d", SIZE)) != cache.key(
+            get_workload("tomcatv", SIZE)
+        )
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_rebuilt(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        workload = get_workload(WORKLOAD, SIZE)
+        cached_build(workload, cache)
+        cache.path(workload).write_bytes(b"not a pickle")
+        rebuilt = cached_build(get_workload(WORKLOAD, SIZE), cache)
+        assert cache.builds == 2 and cache.hits == 0
+        assert_event_identical(rebuilt, workload.build())
+
+    def test_wrong_type_entry_is_rebuilt(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        workload = get_workload(WORKLOAD, SIZE)
+        path = cache.path(workload)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"not": "a ProgramSet"}))
+        hit, value = cache.get(workload)
+        assert not hit and value is None
+        assert not path.exists()
+
+    def test_build_program_set_helper(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        a = build_program_set(WORKLOAD, SIZE, cache=cache)
+        b = build_program_set(WORKLOAD, SIZE, cache=cache)
+        assert cache.hits == 1
+        assert_event_identical(a, b)
+        # cache=None bypasses
+        c = build_program_set(WORKLOAD, SIZE)
+        assert cache.hits == 1
+        assert_event_identical(a, c)
+
+
+class TestRunnerIntegration:
+    def _grid(self):
+        return [
+            timing_job(WORKLOAD, SIZE, PolicySpec(name="ltp")),
+            accuracy_job(WORKLOAD, SIZE, PolicySpec(name="ltp", bits=13)),
+            census_job(WORKLOAD, SIZE),
+            census_job("tomcatv", SIZE),
+        ]
+
+    def test_warm_trace_cache_skips_all_builds(self, tmp_path):
+        grid = self._grid()
+        workloads = {(s.workload, s.size, s.overrides) for s in grid}
+
+        cold = TraceCache(tmp_path / "traces")
+        runner_module._PROGRAMS.clear()
+        first = Runner(trace_cache=cold).run(grid)
+        assert cold.builds == len(workloads) and cold.hits == 0
+
+        # a fresh process has an empty per-process memo; clearing it
+        # simulates worker start-up on the same machine
+        runner_module._PROGRAMS.clear()
+        warm = TraceCache(tmp_path / "traces")
+        second = Runner(trace_cache=warm).run(grid)
+        assert warm.builds == 0, "warm cache must skip every build"
+        assert warm.hits == len(workloads)
+        for spec in grid:
+            assert pickle.dumps(first[spec]) == pickle.dumps(second[spec])
+
+        # and results equal a run with no trace cache at all
+        runner_module._PROGRAMS.clear()
+        plain = Runner().run(grid)
+        for spec in grid:
+            assert pickle.dumps(plain[spec]) == pickle.dumps(second[spec])
+
+    def test_trace_cache_global_restored_after_run(self, tmp_path):
+        runner_module._PROGRAMS.clear()
+        assert runner_module._TRACE_CACHE is None
+        Runner(trace_cache=TraceCache(tmp_path)).run(
+            [census_job(WORKLOAD, SIZE)]
+        )
+        assert runner_module._TRACE_CACHE is None
