@@ -7,7 +7,10 @@ Examples::
     ltp-repro all --size tiny
     ltp-repro run-all --size small --jobs 8 --cache-dir .repro-cache
     ltp-repro run-all --cooperative   # in N terminals: splits the grid
-    ltp-repro cache stats
+    ltp-repro run-all --backend remote --listen 0.0.0.0:7463 \
+        --remote-workers 0            # broker; attach workers below
+    ltp-repro worker --connect broker-host:7463
+    ltp-repro cache stats --watch 2
     ltp-repro cache prune --max-age 7d --max-bytes 500M
     python -m repro.experiments.cli table3
 
@@ -15,11 +18,15 @@ Every experiment subcommand accepts ``--jobs N`` (worker processes)
 and ``--cache-dir PATH`` (content-addressed result cache); ``run-all``
 executes the entire paper grid through one shared runner so the
 overlapping simulations across experiments run exactly once and repeat
-invocations are served from the cache. ``run-all --cooperative`` lets
-N independent invocations sharing one ``--cache-dir`` partition the
-grid through the claim protocol (:mod:`repro.runner.claims`), and by
-default persists built workload traces under ``<cache-dir>/traces`` so
-repeat runs skip ``ProgramSet`` synthesis.
+invocations are served from the cache. ``run-all`` selects an
+execution backend (``--backend inline|pool|cooperative|remote``, auto
+by default): ``--cooperative`` lets N independent invocations sharing
+one ``--cache-dir`` partition the grid through the claim protocol
+(:mod:`repro.runner.claims`), while ``--backend remote`` starts a TCP
+broker (:mod:`repro.runner.remote`) that leases specs to ``ltp-repro
+worker --connect`` processes — no shared filesystem required. Both
+default to persisting built workload traces under
+``<cache-dir>/traces`` so repeat runs skip ``ProgramSet`` synthesis.
 """
 
 from __future__ import annotations
@@ -49,7 +56,18 @@ from repro.experiments import (
     traffic,
 )
 from repro.runner import ClaimStore, ResultCache, Runner, prune_files
+from repro.runner.backends import (
+    CooperativeBackend,
+    InlineBackend,
+    PoolBackend,
+)
 from repro.runner.claims import DEFAULT_TTL
+from repro.runner.remote import (
+    DEFAULT_LEASE_TTL,
+    ProtocolError,
+    RemoteBackend,
+    run_worker,
+)
 from repro.timing.config import SystemConfig
 from repro.trace.scheduler import interleave
 from repro.trace.stats import collect_stream_stats
@@ -127,6 +145,23 @@ def _add_runner_args(p: argparse.ArgumentParser, cache_default=None):
         help="persistent ProgramSet build cache directory "
              "(run-all defaults to <cache-dir>/traces)",
     )
+
+
+#: run-all execution backend choices (auto = derive from flags)
+BACKEND_CHOICES = ("auto", "inline", "pool", "cooperative", "remote")
+
+
+def _parse_address(text: str):
+    """'host:port' (or ':port' / 'port' for localhost) -> (host, port)."""
+    host, _, port = text.strip().rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid address {text!r}; use HOST:PORT, e.g. "
+            "127.0.0.1:7463 (port 0 picks a free one)"
+        )
 
 
 def _parse_age(text: str) -> float:
@@ -226,7 +261,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="heartbeat age after which a peer's claim is presumed "
              f"dead and taken over (default: {DEFAULT_TTL:g})",
     )
+    p.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="execution backend (default: auto — cooperative if "
+             "--cooperative, pool if --jobs > 1, else inline)",
+    )
+    p.add_argument(
+        "--listen", type=_parse_address, default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="remote backend: broker bind address (default "
+             "127.0.0.1:0 — a free port, printed at startup)",
+    )
+    p.add_argument(
+        "--remote-workers", type=int, default=None, metavar="N",
+        help="remote backend: local worker processes to fork "
+             "(default: --jobs; 0 waits for external "
+             "`ltp-repro worker --connect` processes)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+        metavar="SECS",
+        help="remote backend: seconds without a worker heartbeat "
+             "before its leased specs are reassigned "
+             f"(default: {DEFAULT_LEASE_TTL:g})",
+    )
     _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
+    p = sub.add_parser(
+        "worker",
+        help="connect to a `run-all --backend remote` broker and "
+             "execute leased jobs until the grid is done",
+    )
+    p.add_argument(
+        "--connect", type=_parse_address, required=True,
+        metavar="HOST:PORT", help="broker address to lease specs from",
+    )
+    p.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="specs leased per request (default: 1)",
+    )
+    p.add_argument(
+        "--trace-cache", metavar="PATH", default=None,
+        help="persistent ProgramSet build cache on this worker host",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="worker identity shown in broker accounting "
+             "(default: <hostname>-<pid>)",
+    )
     p = sub.add_parser(
         "cache", help="inspect or prune the shared result cache"
     )
@@ -254,6 +335,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="trace cache directory to account/prune "
                  "(default: <cache-dir>/traces)",
         )
+        if cache_cmd == "stats":
+            cp.add_argument(
+                "--watch", type=float, default=None, metavar="SECS",
+                help="refresh the display every SECS seconds "
+                     "(live claim/fleet status for cooperative and "
+                     "remote runs; Ctrl-C to stop)",
+            )
+            cp.add_argument(
+                "--refreshes", type=int, default=None, metavar="N",
+                help="with --watch: stop after N refreshes "
+                     "(default: run until interrupted)",
+            )
         if cache_cmd == "prune":
             cp.add_argument(
                 "--max-age", type=_parse_age, default=None,
@@ -282,6 +375,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _announce_broker(address: str) -> None:
+    print(
+        f"[remote] broker listening on {address} — attach workers "
+        f"with: ltp-repro worker --connect {address}",
+        flush=True,
+    )
+
+
+def _backend_from_args(args):
+    """Explicit --backend choice -> ExecutionBackend, or None (auto:
+    the Runner derives one from jobs/cooperative)."""
+    choice = getattr(args, "backend", "auto")
+    if choice == "auto":
+        return None
+    jobs = getattr(args, "jobs", 1)
+    if choice == "inline":
+        return InlineBackend()
+    if choice == "pool":
+        return PoolBackend(jobs=jobs)
+    if choice == "cooperative":
+        return CooperativeBackend(
+            jobs=jobs,
+            claim_ttl=getattr(args, "claim_ttl", DEFAULT_TTL),
+        )
+    workers = getattr(args, "remote_workers", None)
+    return RemoteBackend(
+        listen=getattr(args, "listen", ("127.0.0.1", 0)),
+        workers=max(1, jobs) if workers is None else workers,
+        lease_ttl=getattr(args, "lease_ttl", DEFAULT_LEASE_TTL),
+        announce=_announce_broker,
+    )
+
+
 def _runner_from_args(args, progress=None) -> Runner:
     cache = None
     cache_dir = getattr(args, "cache_dir", None)
@@ -303,6 +429,7 @@ def _runner_from_args(args, progress=None) -> Runner:
         cooperative=getattr(args, "cooperative", False),
         claim_ttl=getattr(args, "claim_ttl", DEFAULT_TTL),
         trace_cache=trace_cache,
+        backend=_backend_from_args(args),
     )
 
 
@@ -314,10 +441,18 @@ def _print_progress(done: int, total: int, spec, source: str) -> None:
 
 
 def _run_all(args) -> int:
-    if args.cooperative and (args.no_cache or not args.cache_dir):
+    cooperative = args.cooperative or args.backend == "cooperative"
+    if cooperative and (args.no_cache or not args.cache_dir):
         print(
             "run-all: --cooperative requires a result cache "
             "(--cache-dir without --no-cache)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cooperative and args.backend not in ("auto", "cooperative"):
+        print(
+            f"run-all: --cooperative conflicts with "
+            f"--backend {args.backend}",
             file=sys.stderr,
         )
         return 2
@@ -362,6 +497,47 @@ def _run_all(args) -> int:
     return 0
 
 
+def _print_cache_stats(cache, store, traces, claim_ttl) -> None:
+    stats = cache.stats()
+    live, stale = store.partition()
+    print(f"cache {cache.root}")
+    ages = (
+        f" (oldest {_fmt_age(stats.oldest_age)}, "
+        f"newest {_fmt_age(stats.newest_age)})"
+        if stats.entries else ""
+    )
+    print(
+        f"  results  {stats.entries} entries, "
+        f"{_fmt_bytes(stats.total_bytes)}{ages}"
+    )
+    print(
+        f"  claims   {len(live)} live, {len(stale)} stale "
+        f"(ttl {claim_ttl:g}s)"
+    )
+    # fleet view: group live claims by holder — cooperative peers
+    # appear per host/pid, a remote broker's lease mirror as one line
+    holders: dict = {}
+    for info in live:
+        holders.setdefault((info.host, info.pid), []).append(info)
+    if holders:
+        fleet = ", ".join(
+            f"{host}/{pid} ×{len(infos)}"
+            for (host, pid), infos in sorted(holders.items())
+        )
+        print(f"  fleet    {len(holders)} holder(s): {fleet}")
+    now = time.time()
+    for info in live:
+        print(
+            f"             {info.key[:12]}… held by "
+            f"{info.host}/{info.pid} "
+            f"for {_fmt_age(max(0.0, now - info.created))}"
+        )
+    print(
+        f"  traces   {traces.entries()} entries, "
+        f"{_fmt_bytes(traces.total_bytes())}"
+    )
+
+
 def _cache_command(args) -> int:
     cache = ResultCache(args.cache_dir)
     store = ClaimStore(args.cache_dir, ttl=args.claim_ttl)
@@ -369,31 +545,24 @@ def _cache_command(args) -> int:
         args.trace_cache or Path(args.cache_dir) / "traces"
     )
     if args.cache_command == "stats":
-        stats = cache.stats()
-        live, stale = store.partition()
-        print(f"cache {cache.root}")
-        ages = (
-            f" (oldest {_fmt_age(stats.oldest_age)}, "
-            f"newest {_fmt_age(stats.newest_age)})"
-            if stats.entries else ""
-        )
-        print(
-            f"  results  {stats.entries} entries, "
-            f"{_fmt_bytes(stats.total_bytes)}{ages}"
-        )
-        print(
-            f"  claims   {len(live)} live, {len(stale)} stale "
-            f"(ttl {args.claim_ttl:g}s)"
-        )
-        for info in live:
-            print(
-                f"             {info.key[:12]}… held by "
-                f"{info.host}/{info.pid}"
-            )
-        print(
-            f"  traces   {traces.entries()} entries, "
-            f"{_fmt_bytes(traces.total_bytes())}"
-        )
+        watch = getattr(args, "watch", None)
+        refreshes = getattr(args, "refreshes", None)
+        shown = 0
+        try:
+            while True:
+                if watch is not None:
+                    print(time.strftime("— %H:%M:%S —"))
+                _print_cache_stats(cache, store, traces, args.claim_ttl)
+                shown += 1
+                if watch is None or (
+                    refreshes is not None and shown >= refreshes
+                ):
+                    break
+                sys.stdout.flush()
+                time.sleep(watch)
+                print()
+        except KeyboardInterrupt:
+            pass
         return 0
     # prune: age sweep per store, then one *combined* byte budget over
     # results + traces (so --max-bytes bounds the directory as a
@@ -423,6 +592,29 @@ def _cache_command(args) -> int:
     return 0
 
 
+def _worker_command(args) -> int:
+    host, port = args.connect
+    print(f"[worker] connecting to broker at {host}:{port}")
+    try:
+        stats = run_worker(
+            address=(host, port),
+            batch=max(1, args.batch),
+            trace_root=args.trace_cache,
+            name=args.name,
+        )
+    except (OSError, ProtocolError) as exc:
+        print(
+            f"worker: lost broker at {host}:{port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[worker {stats.name}] grid done: {stats.executed} executed, "
+        f"{stats.failed} failed, {stats.leased} leased"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "config":
@@ -430,6 +622,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run-all":
         return _run_all(args)
+    if args.command == "worker":
+        return _worker_command(args)
     if args.command == "cache":
         return _cache_command(args)
     if args.command == "report":

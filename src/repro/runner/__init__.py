@@ -20,12 +20,32 @@ from repro.runner.cache import (
 )
 from repro.runner.claims import (
     DEFAULT_TTL,
+    Backoff,
     ClaimInfo,
     ClaimStore,
     FileLock,
     HeartbeatKeeper,
 )
 from repro.runner.runner import Runner, RunnerStats, execute_spec
+from repro.runner.backends import (
+    CooperativeBackend,
+    ExecutionBackend,
+    InlineBackend,
+    PoolBackend,
+    default_backend,
+)
+from repro.runner.remote import (
+    DEFAULT_LEASE_TTL,
+    Broker,
+    LeaseTable,
+    ProtocolError,
+    RemoteBackend,
+    RemoteExecutionError,
+    WorkerStats,
+    encode_frame,
+    read_frame,
+    run_worker,
+)
 from repro.runner.spec import (
     JobSpec,
     PolicySpec,
@@ -36,22 +56,38 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "Backoff",
+    "Broker",
     "CACHE_SCHEMA",
     "CacheStats",
     "ClaimInfo",
     "ClaimStore",
+    "CooperativeBackend",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_TTL",
+    "ExecutionBackend",
     "FileLock",
     "HeartbeatKeeper",
+    "InlineBackend",
     "JobSpec",
+    "LeaseTable",
     "PolicySpec",
+    "PoolBackend",
+    "ProtocolError",
+    "RemoteBackend",
+    "RemoteExecutionError",
     "ResultCache",
     "Runner",
     "RunnerStats",
+    "WorkerStats",
     "accuracy_job",
     "census_job",
+    "default_backend",
+    "encode_frame",
     "execute_spec",
     "oracle_job",
     "prune_files",
+    "read_frame",
+    "run_worker",
     "timing_job",
 ]

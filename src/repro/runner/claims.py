@@ -39,10 +39,11 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional
 
@@ -121,6 +122,38 @@ class FileLock:
         else:  # pragma: no cover - non-POSIX fallback
             os.close(fd)
             self.path.unlink(missing_ok=True)
+
+
+@dataclass
+class Backoff:
+    """Capped exponential backoff with jitter for peer-wait polling.
+
+    Each :meth:`next` call returns the current delay scaled by a
+    jitter factor in ``[0.5, 1.5)`` (so synchronised peers polling one
+    cache directory spread out instead of stampeding the claim lock),
+    then doubles the base delay up to ``cap``. :meth:`reset` drops back
+    to ``initial`` — callers reset whenever a pass makes progress, so
+    only genuinely idle waits grow long.
+
+    ``rng`` is a 0..1 source (defaults to :func:`random.random`); tests
+    inject a constant to make the schedule deterministic.
+    """
+
+    initial: float
+    cap: float
+    factor: float = 2.0
+    rng: Callable[[], float] = field(default=random.random, repr=False)
+    _delay: Optional[float] = field(default=None, init=False, repr=False)
+
+    def next(self) -> float:
+        if self._delay is None:
+            self._delay = self.initial
+        delay = min(self._delay, self.cap)
+        self._delay = delay * self.factor
+        return delay * (0.5 + self.rng())
+
+    def reset(self) -> None:
+        self._delay = None
 
 
 @dataclass(frozen=True)

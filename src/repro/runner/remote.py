@@ -1,0 +1,890 @@
+"""Remote execution: a TCP broker serving ``JobSpec`` leases to workers.
+
+The cooperative claim protocol (:mod:`repro.runner.claims`) dedups a
+grid across hosts *sharing a filesystem*; this module lifts that
+requirement by shipping specs over the network. The ``JobSpec ->
+pickled report`` contract is transport-agnostic, so the broker and
+worker are thin framing around the same execution stack every other
+backend uses::
+
+    Runner ── misses ──▶ RemoteBackend
+                             │ owns
+                             ▼
+                          Broker ◀── TCP frames ──▶ repro worker (× N)
+                          ├ LeaseTable  (lease / heartbeat / expire / reassign)
+                          ├ ResultCache publication (exactly-once)
+                          └ advisory claim-file mirror (`cache stats --watch`)
+
+Wire protocol (``ltp-remote/1``): one frame per message — the 4-byte
+magic ``LTPW``, a version byte, a big-endian u32 payload length, then
+the pickled message dict — request/reply over a persistent connection.
+Messages: ``hello``/``welcome``, ``lease``/``specs``, ``result``,
+``error``, ``heartbeat`` and ``bye``. Workers execute leased specs
+with :func:`repro.runner.runner.execute_spec` plus their local trace
+cache, and stream pickled reports back for the broker to publish.
+
+Lease lifecycle mirrors the claim files::
+
+    PENDING ──lease()──▶ LEASED ──result──▶ DONE
+                 ▲          │
+                 │          │ owner stops heartbeating for ttl secs
+                 └─expire()─┘  (reassigned by the next lease())
+
+Failure modes:
+
+* **Worker dies mid-job** — its heartbeats stop, the lease expires,
+  and the next ``lease()`` call reassigns the spec to a live worker.
+  If the original worker was merely slow and still reports, the first
+  result wins; duplicates are acknowledged and dropped (results are
+  deterministic, so either copy is byte-identical).
+* **Broker dies** — workers' requests fail and they exit; a restarted
+  ``run-all`` resumes from the :class:`ResultCache`, re-serving only
+  the unfinished specs.
+* **Spec raises on a worker** — the error is reported, the spec is
+  retried (possibly elsewhere) up to ``max_attempts`` times, then
+  surfaced as :class:`RemoteExecutionError` with the remote traceback.
+
+When a cache is attached the broker also mirrors live leases into the
+cache's ``claims/`` directory (advisory, owner = the broker process),
+so ``repro cache stats --watch`` shows remote fleet status exactly
+like cooperative runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import queue
+import socket
+import socketserver
+import struct
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import repro.runner.runner as _execution
+from repro.runner.backends import ExecutionBackend, _trace_root
+from repro.runner.cache import ResultCache
+from repro.runner.spec import JobSpec
+from repro.workloads import TraceCache
+
+#: frame header: magic, protocol version, payload length
+MAGIC = b"LTPW"
+PROTOCOL_VERSION = 1
+_HEADER = struct.Struct("!4sBI")
+
+#: refuse frames beyond this size — a garbage header read as a huge
+#: length should fail fast, not allocate
+MAX_FRAME = 512 * 1024 * 1024
+
+#: largest pickled report a worker will put on the wire; anything
+#: bigger is reported as a spec failure instead of sent, because an
+#: oversized frame would be *rejected* broker-side, tearing down the
+#: connection with no attempt counted (the spec would then cycle
+#: lease -> expire -> reassign forever)
+_REPORT_BUDGET = MAX_FRAME - 65536
+
+#: seconds without a heartbeat before a worker's lease is reassigned
+DEFAULT_LEASE_TTL = 30.0
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or truncated wire traffic, or a vanished peer."""
+
+
+class RemoteExecutionError(RuntimeError):
+    """The fleet could not resolve the grid (failures, dead workers,
+    or timeout)."""
+
+
+# -- framing -----------------------------------------------------------
+
+
+def encode_frame(message: Any) -> bytes:
+    """One wire frame: header + pickled ``message``."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+
+
+def _read_exact(stream, n: int, at_frame_start: bool = False):
+    chunks = b""
+    while len(chunks) < n:
+        data = stream.read(n - len(chunks))
+        if not data:
+            if at_frame_start and not chunks:
+                return None  # clean EOF between frames
+            raise ProtocolError(
+                f"stream truncated: wanted {n} bytes, got {len(chunks)}"
+            )
+        chunks += data
+    return chunks
+
+
+def read_frame(stream) -> Any:
+    """Read one frame from a binary stream.
+
+    Returns the decoded message, or ``None`` on a clean EOF at a frame
+    boundary (protocol messages are always dicts, never ``None``).
+    Raises :class:`ProtocolError` on bad magic/version, oversized or
+    truncated frames, and undecodable payloads.
+    """
+    header = _read_exact(stream, _HEADER.size, at_frame_start=True)
+    if header is None:
+        return None
+    magic, version, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version} (this side speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds cap")
+    payload = _read_exact(stream, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+def _request(stream, message: dict) -> dict:
+    """Send one message and read its reply on a request/reply stream."""
+    stream.write(encode_frame(message))
+    stream.flush()
+    reply = read_frame(stream)
+    if reply is None:
+        raise ProtocolError("connection closed by broker")
+    return reply
+
+
+# -- lease ledger ------------------------------------------------------
+
+
+@dataclass
+class LeaseInfo:
+    owner: str
+    expires: float
+
+
+class LeaseTable:
+    """In-memory exactly-once lease ledger with an injectable clock.
+
+    Keys move ``PENDING -> LEASED -> DONE`` (or ``FAILED`` after
+    ``max_attempts`` reported errors). A lease not heartbeaten within
+    ``ttl`` seconds is reclaimed by :meth:`expire` — which every
+    :meth:`lease` call runs first, so a polling worker is all it takes
+    to reassign a dead peer's specs. Grants are made in original key
+    order, deterministically.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[str],
+        ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.time,
+        max_attempts: int = 3,
+    ) -> None:
+        self.ttl = ttl
+        self.clock = clock
+        self.max_attempts = max_attempts
+        self._state: Dict[str, str] = {key: PENDING for key in keys}
+        self._leases: Dict[str, LeaseInfo] = {}
+        self._attempts: Dict[str, int] = {}
+        #: key -> last error message, for keys that exhausted attempts
+        self.errors: Dict[str, str] = {}
+        #: expired leases reclaimed for reassignment, cumulative
+        self.reclaimed = 0
+
+    def states(self) -> Dict[str, str]:
+        return dict(self._state)
+
+    def owner_of(self, key: str) -> Optional[str]:
+        info = self._leases.get(key)
+        return info.owner if info else None
+
+    def expire(self) -> List[str]:
+        """Reclaim every lease past its expiry; returns the keys."""
+        now = self.clock()
+        reclaimed = []
+        for key, info in list(self._leases.items()):
+            if info.expires <= now:
+                del self._leases[key]
+                if self._state[key] == LEASED:
+                    self._state[key] = PENDING
+                    reclaimed.append(key)
+        self.reclaimed += len(reclaimed)
+        return reclaimed
+
+    def lease(self, owner: str, max_n: int = 1) -> List[str]:
+        """Grant ``owner`` up to ``max_n`` pending keys (expired leases
+        are reclaimed first, so dead peers' work is reassigned here)."""
+        self.expire()
+        now = self.clock()
+        granted: List[str] = []
+        for key, state in self._state.items():
+            if len(granted) >= max_n:
+                break
+            if state == PENDING:
+                self._state[key] = LEASED
+                self._leases[key] = LeaseInfo(
+                    owner=owner, expires=now + self.ttl
+                )
+                granted.append(key)
+        return granted
+
+    def heartbeat(self, owner: str, keys: Iterable[str]) -> int:
+        """Extend ``owner``'s leases among ``keys``; returns how many.
+        Leases reassigned to another worker are left untouched."""
+        now = self.clock()
+        refreshed = 0
+        for key in keys:
+            info = self._leases.get(key)
+            if info is not None and info.owner == owner:
+                info.expires = now + self.ttl
+                refreshed += 1
+        return refreshed
+
+    def complete(self, key: str) -> bool:
+        """Mark ``key`` done. False when it already was (a duplicate
+        report from a slow-but-alive worker after reassignment)."""
+        if self._state[key] == DONE:
+            return False
+        self._state[key] = DONE
+        self._leases.pop(key, None)
+        self.errors.pop(key, None)
+        return True
+
+    def fail(self, key: str, owner: str, message: str) -> bool:
+        """Record a failed attempt; True once permanently failed.
+
+        Like :meth:`heartbeat` and :meth:`release`, owner-checked: an
+        error reported by a worker whose lease was already reassigned
+        is ignored — the live owner's attempt is still in flight and
+        must be neither revoked nor counted against the spec.
+        """
+        if self._state[key] == DONE:
+            return False
+        info = self._leases.get(key)
+        if info is not None and info.owner != owner:
+            return False
+        self._leases.pop(key, None)
+        attempts = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempts
+        if attempts >= self.max_attempts:
+            self._state[key] = FAILED
+            self.errors[key] = message
+            return True
+        self._state[key] = PENDING
+        return False
+
+    def release(self, owner: str) -> List[str]:
+        """Return all of ``owner``'s leases to PENDING (graceful exit
+        of a worker that leased more than it finished)."""
+        returned = []
+        for key, info in list(self._leases.items()):
+            if info.owner == owner:
+                del self._leases[key]
+                if self._state[key] == LEASED:
+                    self._state[key] = PENDING
+                    returned.append(key)
+        return returned
+
+    def done(self) -> bool:
+        return all(
+            state in (DONE, FAILED) for state in self._state.values()
+        )
+
+    def counts(self) -> Dict[str, int]:
+        out = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+        for state in self._state.values():
+            out[state] += 1
+        return out
+
+
+# -- broker ------------------------------------------------------------
+
+
+@dataclass
+class BrokerStats:
+    """Fleet-side accounting for one grid."""
+
+    specs: int = 0
+    #: first-time completions (== specs on a clean run)
+    results: int = 0
+    #: redundant reports acknowledged and dropped
+    duplicates: int = 0
+    #: failed attempts reported by workers
+    errors: int = 0
+    #: specs handed out, including reassignments after expiry
+    leases: int = 0
+    workers: Set[str] = field(default_factory=set)
+
+
+class Broker:
+    """Serves one grid of specs to workers and collects their reports.
+
+    Lifecycle: :meth:`bind` (allocate the listening socket — the
+    address is then readable), :meth:`serve` (handle connections on
+    daemon threads), :meth:`stream` (yield results as they arrive),
+    :meth:`stop`. :meth:`start` is bind + serve.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[JobSpec],
+        cache: Optional[ResultCache] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        listen: Tuple[str, int] = ("127.0.0.1", 0),
+        poll: float = 0.1,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = time.time,
+        mirror_claims: bool = True,
+    ) -> None:
+        unique = list(dict.fromkeys(specs))
+        self.cache = cache
+        self.lease_ttl = lease_ttl
+        self.poll = poll
+        self._by_key: Dict[str, JobSpec] = {
+            self._key(spec): spec for spec in unique
+        }
+        self.table = LeaseTable(
+            self._by_key,
+            ttl=lease_ttl,
+            clock=clock,
+            max_attempts=max_attempts,
+        )
+        self.stats = BrokerStats(specs=len(unique))
+        self.results: Dict[str, Any] = {}
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._listen = listen
+        self._server = None
+        self._thread: Optional[threading.Thread] = None
+        self._claims = (
+            cache.claim_store(ttl=lease_ttl)
+            if (cache is not None and mirror_claims)
+            else None
+        )
+        #: monotonic stamp of the last message from any worker — how
+        #: stream() distinguishes a silent-but-alive external fleet
+        #: from a genuinely dead one
+        self._last_activity = time.monotonic()
+        self.address: Optional[Tuple[str, int]] = None
+
+    def _key(self, spec: JobSpec) -> str:
+        if self.cache is not None:
+            return self.cache.key(spec)
+        payload = f"repro-remote/{spec.canonical()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bind(self) -> Tuple[str, int]:
+        broker = self
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                while True:
+                    try:
+                        message = read_frame(self.rfile)
+                    except ProtocolError:
+                        break
+                    if message is None:
+                        break
+                    try:
+                        reply = broker._dispatch(message)
+                    except Exception as exc:  # never kill the thread
+                        reply = {
+                            "type": "error",
+                            "message": f"{type(exc).__name__}: {exc}",
+                        }
+                    try:
+                        self.wfile.write(encode_frame(reply))
+                        self.wfile.flush()
+                    except OSError:
+                        break
+
+        self._server = _Server(self._listen, _Handler)
+        self.address = self._server.server_address[:2]
+        return self.address
+
+    def serve(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="remote-broker",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def start(self) -> Tuple[str, int]:
+        address = self.bind()
+        self.serve()
+        return address
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._claims is not None:
+            # drop every mirrored claim we still own, whatever the
+            # table state — a reclaimed-but-never-regranted key sits
+            # PENDING yet may still have our claim file on disk
+            # (release is an owner-checked no-op everywhere else)
+            for key in self._by_key:
+                self._claims.release(key)
+
+    # -- message handling ----------------------------------------------
+
+    def _dispatch(self, message: Any) -> dict:
+        if not isinstance(message, dict):
+            return {"type": "error", "message": "message must be a dict"}
+        self._last_activity = time.monotonic()
+        mtype = message.get("type")
+        worker = str(message.get("worker", "?"))
+        if mtype == "hello":
+            with self._lock:
+                self.stats.workers.add(worker)
+            return {
+                "type": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "lease_ttl": self.lease_ttl,
+                "poll": self.poll,
+                "specs": self.stats.specs,
+            }
+        if mtype == "lease":
+            return self._handle_lease(worker, int(message.get("max", 1)))
+        if mtype == "result":
+            return self._handle_result(
+                worker, message.get("key"), message.get("report")
+            )
+        if mtype == "error":
+            return self._handle_error(
+                worker, message.get("key"),
+                str(message.get("message", "")),
+            )
+        if mtype == "heartbeat":
+            keys = [str(k) for k in message.get("keys", ())]
+            with self._lock:
+                refreshed = self.table.heartbeat(worker, keys)
+            # claim-file I/O happens outside the lock: the mirror is
+            # advisory, and flock latency must not serialize the fleet
+            if self._claims is not None and refreshed:
+                self._claims.heartbeat(keys)
+            return {"type": "ok", "refreshed": refreshed}
+        if mtype == "bye":
+            with self._lock:
+                returned = self.table.release(worker)
+            if self._claims is not None:
+                for key in returned:
+                    self._claims.release(key)
+            return {"type": "ok", "returned": len(returned)}
+        return {
+            "type": "error", "message": f"unknown message type {mtype!r}"
+        }
+
+    def _handle_lease(self, worker: str, max_n: int) -> dict:
+        with self._lock:
+            reclaimed = self.table.expire()
+            keys = self.table.lease(worker, max(1, max_n))
+            self.stats.leases += len(keys)
+            done = False if keys else self.table.done()
+        if self._claims is not None:
+            # reclaimed-but-not-regranted keys go back to pending, so
+            # their mirror claims must not linger as stale files
+            for key in reclaimed:
+                if key not in keys:
+                    self._claims.release(key)
+            for key in keys:
+                self._claims.acquire(key)  # advisory mirror
+        if keys:
+            return {
+                "type": "specs",
+                "leases": [(key, self._by_key[key]) for key in keys],
+                "done": False,
+            }
+        return {
+            "type": "specs",
+            "leases": [],
+            "done": done,
+            "wait": self.poll,
+        }
+
+    def _handle_result(self, worker: str, key, data) -> dict:
+        if key not in self._by_key:
+            return {"type": "error", "message": f"unknown key {key!r}"}
+        try:
+            value = pickle.loads(data)
+        except Exception as exc:
+            return self._handle_error(
+                worker, key, f"undecodable report: {exc}"
+            )
+        with self._lock:
+            first = self.table.complete(key)
+            if first:
+                self.stats.results += 1
+            else:
+                self.stats.duplicates += 1
+        if not first:
+            return {"type": "ok", "duplicate": True}
+        # the file I/O stays outside the lock so slow cache disks do
+        # not serialize the whole fleet's traffic; ordering still
+        # guarantees publish-before-release for the mirror claim
+        spec = self._by_key[key]
+        if self.cache is not None:
+            self.cache.put(spec, value)  # publish, then...
+        if self._claims is not None:
+            self._claims.release(key)    # ...free the mirror claim
+        self.results[key] = value
+        self._queue.put((spec, value))
+        return {"type": "ok", "duplicate": False}
+
+    def _handle_error(self, worker: str, key, message: str) -> dict:
+        if key not in self._by_key:
+            return {"type": "error", "message": f"unknown key {key!r}"}
+        with self._lock:
+            self.stats.errors += 1
+            final = self.table.fail(key, worker, message)
+            lease_gone = self.table.owner_of(key) is None
+        # drop the mirror claim whenever the lease is gone — both on a
+        # permanent failure and on a retry (the next lease re-acquires
+        # it); a stale error that left a peer's live lease intact
+        # keeps the claim
+        if lease_gone and self._claims is not None:
+            self._claims.release(key)
+        return {"type": "ok", "final": final}
+
+    # -- result streaming ----------------------------------------------
+
+    def stream(
+        self,
+        timeout: Optional[float] = None,
+        workers: Optional[List] = None,
+    ) -> Iterable[Tuple[JobSpec, Any]]:
+        """Yield ``(spec, report)`` as results arrive until the grid
+        is fully resolved.
+
+        Raises :class:`RemoteExecutionError` when specs failed
+        permanently, when every process in ``workers`` (the locally
+        spawned fleet, if any) has exited AND no worker — external
+        fleets included — has spoken for half a lease ttl, or when
+        ``timeout`` seconds pass.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        # long enough that a live external worker's heartbeats (every
+        # ttl/4) always land inside the window
+        silence_limit = max(1.0, self.lease_ttl / 2.0)
+        served = 0
+        while served < self.stats.specs:
+            try:
+                spec, value = self._queue.get(timeout=0.1)
+                served += 1
+                yield spec, value
+                continue
+            except queue.Empty:
+                pass
+            with self._lock:
+                table_done = self.table.done()
+                failures = dict(self.table.errors)
+            if table_done:
+                while True:  # drain results that raced the done check
+                    try:
+                        spec, value = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    served += 1
+                    yield spec, value
+                if served < self.stats.specs - len(failures):
+                    # a completed result's queue.put is still in
+                    # flight (publication happens after complete(),
+                    # outside the lock) — keep polling for it
+                    continue
+                if failures:
+                    raise RemoteExecutionError(
+                        f"{len(failures)} spec(s) failed permanently "
+                        f"on the fleet:\n"
+                        + "\n".join(
+                            f"  {self._by_key[key].label()}: "
+                            + (
+                                text.strip().splitlines()
+                                or ["<no message>"]
+                            )[-1]
+                            for key, text in failures.items()
+                        )
+                    )
+                return
+            if (
+                workers
+                and all(not p.is_alive() for p in workers)
+                and time.monotonic() - self._last_activity
+                > silence_limit
+            ):
+                # local fleet gone and nothing external has spoken
+                # either: fail fast instead of hanging forever
+                raise RemoteExecutionError(
+                    "all local workers exited and the fleet has "
+                    f"gone silent with work remaining "
+                    f"({self._counts_text()})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise RemoteExecutionError(
+                    f"grid unresolved after {timeout:g}s "
+                    f"({self._counts_text()})"
+                )
+
+    def _counts_text(self) -> str:
+        counts = self.table.counts()
+        return ", ".join(f"{n} {state}" for state, n in counts.items())
+
+
+# -- worker ------------------------------------------------------------
+
+
+@dataclass
+class WorkerStats:
+    """One worker process's accounting, returned by :func:`run_worker`."""
+
+    name: str = ""
+    leased: int = 0
+    executed: int = 0
+    failed: int = 0
+
+
+def run_worker(
+    address: Tuple[str, int],
+    batch: int = 1,
+    trace_root: Optional[str] = None,
+    name: Optional[str] = None,
+) -> WorkerStats:
+    """Connect to a broker, execute leased specs until the grid is done.
+
+    This is the body of ``repro worker --connect``. The worker leases
+    up to ``batch`` specs per request, executes them with the standard
+    workload/timing stack (attaching the persistent trace cache at
+    ``trace_root``, if given), reports each pickled result, and
+    heartbeats its outstanding leases every ``ttl / 4`` seconds on a
+    second connection so long simulations stay leased. Raises
+    :class:`ProtocolError`/``OSError`` when the broker vanishes.
+    """
+    worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
+    stats = WorkerStats(name=worker_name)
+    previous = _execution._swap_trace_cache(
+        TraceCache(trace_root) if trace_root else None
+    )
+    sock = None
+    stream = None
+    beat: Optional[threading.Thread] = None
+    held: Set[str] = set()
+    held_lock = threading.Lock()
+    stop = threading.Event()
+    ttl = DEFAULT_LEASE_TTL
+
+    def heartbeats() -> None:
+        try:
+            hb_sock = socket.create_connection(tuple(address))
+        except OSError:
+            return
+        hb_stream = hb_sock.makefile("rwb")
+        try:
+            while not stop.wait(max(0.05, ttl / 4.0)):
+                with held_lock:
+                    keys = sorted(held)
+                if keys:
+                    _request(hb_stream, {
+                        "type": "heartbeat",
+                        "worker": worker_name,
+                        "keys": keys,
+                    })
+        except (OSError, ProtocolError):
+            pass  # broker went away; the main loop will notice
+        finally:
+            try:
+                hb_stream.close()
+                hb_sock.close()
+            except OSError:
+                pass
+
+    try:
+        sock = socket.create_connection(tuple(address))
+        stream = sock.makefile("rwb")
+        welcome = _request(stream, {
+            "type": "hello",
+            "worker": worker_name,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+        })
+        ttl = float(welcome.get("lease_ttl", DEFAULT_LEASE_TTL))
+        beat = threading.Thread(
+            target=heartbeats, name="worker-heartbeat", daemon=True
+        )
+        beat.start()
+        while True:
+            reply = _request(stream, {
+                "type": "lease", "worker": worker_name, "max": batch,
+            })
+            leases = reply.get("leases", [])
+            if not leases:
+                if reply.get("done"):
+                    break
+                time.sleep(float(reply.get("wait", 0.5)))
+                continue
+            with held_lock:
+                held.update(key for key, _ in leases)
+            stats.leased += len(leases)
+            for key, spec in leases:
+                try:
+                    value = _execution.execute_spec(spec)
+                    data = pickle.dumps(
+                        value, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    if len(data) > _REPORT_BUDGET:
+                        raise ValueError(
+                            f"pickled report of {len(data)} bytes "
+                            f"exceeds the {_REPORT_BUDGET}-byte wire "
+                            "budget"
+                        )
+                    _request(stream, {
+                        "type": "result",
+                        "worker": worker_name,
+                        "key": key,
+                        "report": data,
+                    })
+                    stats.executed += 1
+                except (OSError, ProtocolError):
+                    raise  # lost the broker: nothing left to report to
+                except Exception:
+                    stats.failed += 1
+                    _request(stream, {
+                        "type": "error",
+                        "worker": worker_name,
+                        "key": key,
+                        "message": traceback.format_exc(limit=20),
+                    })
+                finally:
+                    with held_lock:
+                        held.discard(key)
+        try:
+            _request(stream, {"type": "bye", "worker": worker_name})
+        except (OSError, ProtocolError):
+            pass
+    finally:
+        stop.set()
+        if beat is not None:
+            beat.join(timeout=5)
+        try:
+            if stream is not None:
+                stream.close()
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+        _execution._swap_trace_cache(previous)
+    return stats
+
+
+# -- backend -----------------------------------------------------------
+
+
+@dataclass
+class RemoteBackend(ExecutionBackend):
+    """Broker-side backend: serve misses to ``repro worker`` processes.
+
+    Attributes:
+        listen: ``(host, port)`` to bind; port 0 picks a free one.
+        workers: local worker processes to fork (0 = wait for external
+            ``repro worker --connect`` fleets only).
+        lease_ttl: seconds without a heartbeat before a lease is
+            reassigned.
+        batch: specs granted per worker lease request.
+        poll: seconds idle workers wait between lease retries.
+        max_attempts: execution attempts per spec before giving up.
+        timeout: overall safety limit for one grid, ``None`` = wait.
+        mirror_claims: mirror live leases into the cache's claims
+            directory for ``cache stats`` visibility.
+        announce: callback receiving the bound ``host:port`` string.
+    """
+
+    listen: Tuple[str, int] = ("127.0.0.1", 0)
+    workers: int = 1
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    batch: int = 1
+    poll: float = 0.1
+    max_attempts: int = 3
+    timeout: Optional[float] = None
+    mirror_claims: bool = True
+    announce: Optional[Callable[[str], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: the last run's broker, for stats introspection
+    broker: Optional[Broker] = field(
+        default=None, repr=False, compare=False
+    )
+
+    name = "remote"
+    publishes = True
+
+    def run(self, specs, runner):
+        broker = Broker(
+            specs,
+            cache=runner.cache,
+            lease_ttl=self.lease_ttl,
+            listen=self.listen,
+            poll=self.poll,
+            max_attempts=self.max_attempts,
+            mirror_claims=self.mirror_claims,
+        )
+        self.broker = broker
+        host, port = broker.bind()
+        if self.announce is not None:
+            self.announce(f"{host}:{port}")
+        procs: List[multiprocessing.Process] = []
+        try:
+            # fork local workers before the serving thread starts so
+            # children never inherit a mid-operation lock; their
+            # connects queue in the listen backlog until serve() runs
+            for index in range(self.workers):
+                proc = multiprocessing.Process(
+                    target=run_worker,
+                    kwargs=dict(
+                        address=(host, port),
+                        batch=self.batch,
+                        trace_root=_trace_root(runner),
+                        name=f"local-{index}-{os.getpid()}",
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            broker.serve()
+            for spec, value in broker.stream(
+                timeout=self.timeout, workers=procs or None
+            ):
+                yield spec, value, "run"
+            for proc in procs:
+                proc.join(timeout=10)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+            broker.stop()

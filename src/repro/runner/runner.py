@@ -2,42 +2,36 @@
 
 :func:`execute_spec` is the single entry point that turns a spec into a
 report — it is a module-level function so a ``multiprocessing`` pool
-can ship specs to workers by pickle. Each process memoises built
-``ProgramSet``s per ``(workload, size, overrides)``, so a grid that
-sweeps policies over one workload builds the trace once per process.
+(or a remote worker process) can ship specs by pickle. Each process
+memoises built ``ProgramSet``s per ``(workload, size, overrides)``, so
+a grid that sweeps policies over one workload builds the trace once
+per process.
 
 :class:`Runner` layers three result sources, in order:
 
 1. an in-memory memo (shared across ``run()`` calls, which is how
    ``repro run-all`` deduplicates overlapping experiment grids);
 2. the on-disk :class:`~repro.runner.cache.ResultCache`, if attached;
-3. actual execution — inline when ``jobs == 1``, otherwise on a
-   process pool.
+3. execution through exactly one :class:`ExecutionBackend` — inline,
+   a local ``multiprocessing`` pool, the cooperative shared-filesystem
+   claim protocol, or a TCP broker serving ``repro worker`` fleets
+   (:mod:`repro.runner.backends`, :mod:`repro.runner.remote`).
 
-With ``cooperative=True`` (requires a cache) execution additionally
-goes through the claim protocol of :mod:`repro.runner.claims`: each
-miss is atomically claimed before running, specs claimed by live peer
-processes are awaited instead of re-executed (their published results
-arrive as ``"peer"`` hits), and claims whose owners crashed are reaped
-and taken over. N cooperating invocations of one grid therefore
-partition it — every unique spec executes exactly once across the
-fleet.
+The backend is picked explicitly (``Runner(backend=...)``) or derived
+from the legacy ``jobs``/``cooperative`` flags. All four backends
+satisfy one contract, asserted by the conformance suite: every unique
+spec executes exactly once fleet-wide, and reports are byte-identical
+to a serial run — the simulations are seeded and event ordering is
+total, so a spec's report does not depend on where it ran.
 
 Attaching a :class:`~repro.workloads.trace_cache.TraceCache` makes
 :func:`_programs_for` deserialize persisted ``ProgramSet`` traces
-instead of re-synthesizing them per process (pool workers install the
-cache via the pool initializer).
-
-Results are deterministic: the simulations are seeded and event
-ordering is total, so a spec's report is byte-identical whether it was
-computed serially, in parallel, cooperatively, or read back from the
-cache.
+instead of re-synthesizing them per process (pool and remote workers
+install the cache at start-up).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -45,7 +39,7 @@ from repro.analysis.sharing import census
 from repro.errors import ConfigurationError
 from repro.protocol.states import ProtocolVariant
 from repro.runner.cache import ResultCache
-from repro.runner.claims import DEFAULT_TTL, ClaimStore, HeartbeatKeeper
+from repro.runner.claims import DEFAULT_TTL
 from repro.runner.spec import NULL_POLICY, JobSpec
 from repro.sim import AccuracySimulator
 from repro.timing import TimingSimulator
@@ -168,7 +162,7 @@ class RunnerStats:
 
 @dataclass
 class Runner:
-    """Executes job specs with dedup, caching and optional parallelism.
+    """Executes job specs with dedup, caching and a pluggable backend.
 
     Attributes:
         jobs: worker process count; 1 runs inline (no pool).
@@ -178,10 +172,13 @@ class Runner:
             directory via the claim protocol (requires ``cache``).
         claim_ttl: seconds without a heartbeat before a peer's claim is
             presumed dead and taken over.
-        poll_interval: seconds between cache polls while waiting on
-            specs claimed by live peers.
+        poll_interval: initial delay between cache polls while waiting
+            on specs claimed by live peers (grows with capped
+            exponential backoff + jitter while no progress is made).
         trace_cache: persistent ``ProgramSet`` build cache; installed
             process-wide during execution (and in pool workers).
+        backend: explicit :class:`ExecutionBackend`; when ``None`` one
+            is derived from ``jobs``/``cooperative``.
     """
 
     jobs: int = 1
@@ -191,6 +188,7 @@ class Runner:
     claim_ttl: float = DEFAULT_TTL
     poll_interval: float = 0.2
     trace_cache: Optional[TraceCache] = None
+    backend: Optional[Any] = None
     stats: RunnerStats = field(default_factory=RunnerStats)
     _memo: Dict[JobSpec, Any] = field(default_factory=dict)
 
@@ -199,10 +197,22 @@ class Runner:
             raise ConfigurationError(
                 f"jobs must be >= 1, got {self.jobs}"
             )
-        if self.cooperative and self.cache is None:
+        if self.backend is None:
+            # imported here: backends imports this module for
+            # execute_spec and the trace-cache globals
+            from repro.runner.backends import default_backend
+
+            self.backend = default_backend(
+                jobs=self.jobs,
+                cooperative=self.cooperative,
+                claim_ttl=self.claim_ttl,
+                poll_interval=self.poll_interval,
+            )
+        reason = self.backend.requires_cache
+        if reason is not None and self.cache is None:
             raise ConfigurationError(
-                "cooperative mode requires a result cache: peers "
-                "coordinate through claim files in its directory"
+                f"{self.backend.name} mode requires a result cache: "
+                f"{reason}"
             )
 
     def run(self, specs: Iterable[JobSpec]) -> Dict[JobSpec, Any]:
@@ -239,9 +249,9 @@ class Runner:
         for spec, value, source in self._resolve(misses):
             results[spec] = self._memo[spec] = value
             if source == "run":
-                # (the cooperative path publishes before releasing its
-                # claim, so it has already written the cache entry)
-                if self.cache is not None and not self.cooperative:
+                # self-publishing backends (cooperative, remote) write
+                # the cache entry before releasing their claim/lease
+                if self.cache is not None and not self.backend.publishes:
                     self.cache.put(spec, value)
                 self.stats.executed += 1
             else:  # "peer": published by a cooperating process
@@ -256,128 +266,12 @@ class Runner:
     def _resolve(
         self, misses: List[JobSpec]
     ) -> Iterable[Tuple[JobSpec, Any, str]]:
-        """Turn misses into (spec, value, source) with source ``"run"``
-        (we executed it) or ``"peer"`` (a cooperating process did)."""
+        """Hand misses to the backend; (spec, value, source) triples
+        with source ``"run"`` (this fleet executed it) or ``"peer"``
+        (a cooperating process published it)."""
         if not misses:
             return
-        if self.cooperative:
-            yield from self._resolve_cooperative(misses)
-            return
-        for spec, value in self._execute(misses):
-            yield spec, value, "run"
-
-    def _resolve_cooperative(
-        self, misses: List[JobSpec]
-    ) -> Iterable[Tuple[JobSpec, Any, str]]:
-        """Partition misses with peers through the claim protocol.
-
-        Each pass over the pending list re-checks the cache (a peer may
-        have published), claims up to ``jobs`` free specs, executes
-        them, and publishes each result *before* releasing its claim.
-        Specs claimed by live peers are left pending; when a full pass
-        makes no progress we sleep briefly and reap claims whose owners
-        have died so their work can be taken over.
-        """
-        store = ClaimStore(self.cache.root, ttl=self.claim_ttl)
-        keys = {spec: self.cache.key(spec) for spec in misses}
-        pending = list(misses)
-        held: Dict[str, JobSpec] = {}
-        batch_cap = max(1, self.jobs)
-        # one long-lived pool across all claim batches: workers keep
-        # their ProgramSet memos and we pay spawn cost once, not once
-        # per batch
-        pool = None
-        try:
-            if self.jobs > 1:
-                pool = multiprocessing.Pool(
-                    processes=self.jobs,
-                    initializer=_worker_init,
-                    initargs=(self._trace_root(),),
-                )
-            with HeartbeatKeeper(store) as keeper:
-                while pending:
-                    progressed = False
-                    deferred: List[JobSpec] = []
-                    claimed: List[JobSpec] = []
-                    for spec in pending:
-                        hit, value = self.cache.get(spec)
-                        if hit:
-                            yield spec, value, "peer"
-                            progressed = True
-                        elif (
-                            len(claimed) < batch_cap
-                            and store.acquire(keys[spec])
-                        ):
-                            keeper.add(keys[spec])
-                            held[keys[spec]] = spec
-                            claimed.append(spec)
-                        else:
-                            deferred.append(spec)
-                    for spec, value in self._execute(claimed, pool=pool):
-                        self.cache.put(spec, value)  # publish, then...
-                        store.release(keys[spec])    # ...free the claim
-                        keeper.discard(keys[spec])
-                        held.pop(keys[spec], None)
-                        yield spec, value, "run"
-                        progressed = True
-                    pending = deferred
-                    if pending and not progressed:
-                        # everything left is claimed by peers: wait,
-                        # and reap any claim whose owner has died
-                        time.sleep(self.poll_interval)
-                        store.reap([keys[spec] for spec in pending])
-        finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
-            # on an execution error, unclaim whatever we still hold so
-            # peers can pick the specs up instead of waiting out the ttl
-            for key in list(held):
-                store.release(key)
-
-    def _trace_root(self) -> Optional[str]:
-        return str(self.trace_cache.root) if self.trace_cache else None
-
-    def _execute(
-        self, misses: List[JobSpec], pool=None
-    ) -> Iterable[Tuple[JobSpec, Any]]:
-        if not misses:
-            return
-        if pool is None and (self.jobs == 1 or len(misses) == 1):
-            previous = _swap_trace_cache(self.trace_cache or _TRACE_CACHE)
-            try:
-                for spec in misses:
-                    yield spec, execute_spec(spec)
-            finally:
-                _swap_trace_cache(previous)
-            return
-        # group jobs sharing a ProgramSet so each worker's per-process
-        # memo rebuilds as few workloads as possible
-        ordered = sorted(
-            misses, key=lambda s: (s.workload, s.size, s.overrides)
-        )
-        if pool is not None:
-            yield from self._pooled(pool, ordered)
-            return
-        workers = min(self.jobs, len(ordered))
-        with multiprocessing.Pool(
-            processes=workers,
-            initializer=_worker_init,
-            initargs=(self._trace_root(),),
-        ) as fresh:
-            yield from self._pooled(fresh, ordered)
-
-    def _pooled(
-        self, pool, ordered: List[JobSpec]
-    ) -> Iterable[Tuple[JobSpec, Any]]:
-        chunksize = max(1, len(ordered) // (max(1, self.jobs) * 4))
-        # ordered imap: results stream back as they finish but pair up
-        # with their specs positionally
-        for spec, value in zip(
-            ordered,
-            pool.imap(execute_spec, ordered, chunksize=chunksize),
-        ):
-            yield spec, value
+        yield from self.backend.run(misses, self)
 
     def _report(
         self, done: int, total: int, spec: JobSpec, source: str

@@ -248,3 +248,74 @@ class TestRunAllFlags:
         code = main(["run-all", "--cooperative", "--no-cache"])
         assert code == 2
         assert "--cooperative requires" in capsys.readouterr().err
+
+
+class TestStatsWatch:
+    def test_watch_refreshes_n_times(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _populate(cache)
+        code = main([
+            "cache", "stats", "--cache-dir", str(tmp_path),
+            "--watch", "0.01", "--refreshes", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # one stats block (plus a timestamp header) per refresh
+        assert out.count(f"cache {tmp_path}") == 3
+        assert out.count("— ") >= 3
+        assert out.count("2 entries") == 3
+
+    def test_watch_defaults_off(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count(f"cache {tmp_path}") == 1
+        assert "— " not in out  # no timestamp header without --watch
+
+    def test_watch_surfaces_fleet_holders(self, tmp_path, capsys):
+        """Live claims group by holder — the fleet view for
+        cooperative peers and the remote broker's lease mirror."""
+        fleet_a = ClaimStore(tmp_path, ttl=300.0, owner=("host-a", 11))
+        fleet_b = ClaimStore(tmp_path, ttl=300.0, owner=("host-b", 22))
+        for key in ("aa11", "bb22"):
+            assert fleet_a.acquire(key)
+        assert fleet_b.acquire("cc33")
+        code = main([
+            "cache", "stats", "--cache-dir", str(tmp_path),
+            "--watch", "0.01", "--refreshes", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet    2 holder(s)" in out
+        assert "host-a/11 ×2" in out
+        assert "host-b/22 ×1" in out
+
+    def test_remote_broker_lease_mirror_is_visible(self, tmp_path):
+        """While a remote broker holds leases, `cache stats` sees them
+        as live claims (the advisory mirror)."""
+        from repro.runner import Broker, census_job
+        from repro.runner.remote import _request
+        import socket as socket_mod
+
+        cache = ResultCache(tmp_path)
+        specs = [census_job("em3d", SIZE), census_job("tomcatv", SIZE)]
+        broker = Broker(specs, cache=cache, lease_ttl=60.0)
+        address = broker.start()
+        sock = socket_mod.create_connection(address)
+        stream = sock.makefile("rwb")
+        try:
+            _request(stream, {"type": "hello", "worker": "w"})
+            reply = _request(
+                stream, {"type": "lease", "worker": "w", "max": 2}
+            )
+            assert len(reply["leases"]) == 2
+            live, stale = cache.claim_store(ttl=60.0).partition()
+            assert len(live) == 2
+            assert {info.key for info in live} == {
+                key for key, _ in reply["leases"]
+            }
+        finally:
+            sock.close()
+            broker.stop()
+        # stop() released the mirror claims for the unfinished leases
+        assert list((tmp_path / "claims").glob("*.claim")) == []

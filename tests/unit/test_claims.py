@@ -1,6 +1,7 @@
 """Unit tests for the cooperative claim protocol: acquire/release
 ownership rules, staleness (heartbeat ttl and dead-pid fast path),
-reaping, heartbeat refresh, and advisory-lock mutual exclusion."""
+reaping, heartbeat refresh, advisory-lock mutual exclusion, and the
+peer-wait poll backoff."""
 
 import json
 import os
@@ -9,7 +10,11 @@ import subprocess
 import sys
 import threading
 
+import pytest
+
+from repro.runner.backends import CooperativeBackend
 from repro.runner.claims import (
+    Backoff,
     ClaimStore,
     FileLock,
     HeartbeatKeeper,
@@ -243,3 +248,44 @@ class TestHeartbeatKeeper:
             assert keeper.held() == []
         # exiting the context stops the thread; nothing to assert
         # beyond a clean join (no exception)
+
+
+class TestBackoff:
+    def test_midpoint_rng_gives_pure_doubling(self):
+        # jitter factor is 0.5 + rng(), so rng=0.5 scales by exactly 1
+        b = Backoff(initial=0.1, cap=1.0, rng=lambda: 0.5)
+        delays = [b.next() for _ in range(6)]
+        assert delays == [
+            pytest.approx(d) for d in (0.1, 0.2, 0.4, 0.8, 1.0, 1.0)
+        ]
+
+    def test_jitter_stays_within_half_to_threehalves(self):
+        lo = Backoff(initial=0.2, cap=2.0, rng=lambda: 0.0)
+        hi = Backoff(initial=0.2, cap=2.0, rng=lambda: 0.999)
+        assert lo.next() == pytest.approx(0.1)
+        assert hi.next() == pytest.approx(0.2 * 1.499)
+
+    def test_reset_returns_to_initial(self):
+        b = Backoff(initial=0.1, cap=5.0, rng=lambda: 0.5)
+        for _ in range(4):
+            b.next()
+        b.reset()
+        assert b.next() == pytest.approx(0.1)
+
+    def test_random_jitter_is_bounded(self):
+        b = Backoff(initial=0.05, cap=0.4)
+        for _ in range(50):
+            base = min(getattr(b, "_delay", None) or 0.05, 0.4)
+            delay = b.next()
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_cooperative_backend_backoff_is_capped_by_ttl(self):
+        fast = CooperativeBackend(claim_ttl=1.0, poll_interval=0.2)
+        backoff = fast._backoff()
+        assert backoff.initial == 0.2
+        assert backoff.cap == pytest.approx(0.5)  # ttl / 2
+        slow = CooperativeBackend(claim_ttl=600.0, poll_interval=0.2)
+        assert slow._backoff().cap == pytest.approx(2.0)  # hard cap
+        # a poll interval above the cap still polls at its own pace
+        coarse = CooperativeBackend(claim_ttl=1.0, poll_interval=3.0)
+        assert coarse._backoff().cap == pytest.approx(3.0)
