@@ -1,0 +1,119 @@
+"""CI guard: codec-era readers must serve pre-codec cache fixtures.
+
+Writes a result cache and a trace cache exactly the way the pre-codec
+code did — raw pickled bytes, no blob container — then verifies that
+
+1. ``cache stats`` accounts the fixture without error,
+2. a warm run through a ``zlib``-configured runner serves every spec
+   from the legacy entries (zero executions, zero trace builds),
+3. ``cache migrate --codec zlib`` re-encodes in place and a second
+   warm run still serves everything byte-identically.
+
+Run as ``PYTHONPATH=src python scripts/cache_compat_check.py [DIR]``;
+exits non-zero on any regression of the legacy read path.
+"""
+
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+
+from repro._fsutil import atomic_write_bytes
+from repro.experiments.cli import main as cli_main
+from repro.runner import (
+    PolicySpec,
+    ResultCache,
+    Runner,
+    census_job,
+    execute_spec,
+    timing_job,
+)
+from repro.runner import runner as runner_module
+from repro.workloads import TraceCache, get_workload
+
+WORKLOADS = ("em3d", "tomcatv")
+SIZE = "tiny"
+
+
+def _specs():
+    return [census_job(name, SIZE) for name in WORKLOADS] + [
+        timing_job("em3d", SIZE, PolicySpec(name="ltp")),
+    ]
+
+
+def write_legacy_fixture(cache_dir: Path):
+    """Populate ``cache_dir`` in the pre-codec format: raw pickles
+    written directly, bypassing the codec layer entirely."""
+    cache = ResultCache(cache_dir)
+    expected = {}
+    for spec in _specs():
+        value = execute_spec(spec)
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(cache.path(spec), raw)
+        expected[spec] = raw
+    traces = TraceCache(cache_dir / "traces")
+    for name in WORKLOADS:
+        workload = get_workload(name, SIZE)
+        raw = pickle.dumps(
+            workload.build(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        atomic_write_bytes(traces.path(workload), raw)
+    return expected
+
+
+def assert_warm(cache_dir: Path, expected, label: str) -> None:
+    runner_module._PROGRAMS.clear()
+    runner = Runner(
+        cache=ResultCache(cache_dir, codec="zlib"),
+        trace_cache=TraceCache(cache_dir / "traces", codec="zlib"),
+    )
+    results = runner.run(list(expected))
+    assert runner.stats.executed == 0, (
+        f"{label}: executed {runner.stats.executed} specs instead of "
+        "serving them from the fixture cache"
+    )
+    assert runner.stats.cache_hits == len(expected), (
+        f"{label}: {runner.stats.cache_hits} cache hits, wanted "
+        f"{len(expected)}"
+    )
+    for spec, raw in expected.items():
+        got = pickle.dumps(
+            results[spec], protocol=pickle.HIGHEST_PROTOCOL
+        )
+        assert got == raw, f"{label}: {spec.label()} not byte-identical"
+    # the fixture's legacy trace entries must read as hits too
+    traces = TraceCache(cache_dir / "traces", codec="zlib")
+    for name in WORKLOADS:
+        hit, _ = traces.get(get_workload(name, SIZE))
+        assert hit, f"{label}: legacy trace entry for {name} unreadable"
+
+
+def main(argv) -> int:
+    if argv:
+        cache_dir = Path(argv[0])
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        context = None
+    else:
+        context = tempfile.TemporaryDirectory()
+        cache_dir = Path(context.name)
+    try:
+        expected = write_legacy_fixture(cache_dir)
+        rc = cli_main(["cache", "stats", "--cache-dir", str(cache_dir)])
+        assert rc == 0, f"cache stats exited {rc}"
+        assert_warm(cache_dir, expected, "pre-migration warm run")
+        rc = cli_main([
+            "cache", "migrate", "--cache-dir", str(cache_dir),
+            "--codec", "zlib",
+        ])
+        assert rc == 0, f"cache migrate exited {rc}"
+        assert_warm(cache_dir, expected, "post-migration warm run")
+    finally:
+        if context is not None:
+            context.cleanup()
+    print("cache back-compat OK: legacy entries readable before and "
+          "after migration")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

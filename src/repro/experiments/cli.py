@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.codecs import CODEC_NAMES
 from repro.experiments import (
     ablations,
     figure6,
@@ -55,7 +56,13 @@ from repro.experiments import (
     table4,
     traffic,
 )
-from repro.runner import ClaimStore, ResultCache, Runner, prune_files
+from repro.runner import (
+    ClaimStore,
+    ResultCache,
+    Runner,
+    completions,
+    prune_files,
+)
 from repro.runner.backends import (
     CooperativeBackend,
     InlineBackend,
@@ -144,6 +151,12 @@ def _add_runner_args(p: argparse.ArgumentParser, cache_default=None):
         "--trace-cache", metavar="PATH", default=None,
         help="persistent ProgramSet build cache directory "
              "(run-all defaults to <cache-dir>/traces)",
+    )
+    p.add_argument(
+        "--codec", choices=CODEC_NAMES, default="none",
+        help="compression codec for result/trace cache entries and "
+             "remote wire payloads (default: none; reads decode any "
+             "codec, so switching never invalidates a cache)",
     )
 
 
@@ -285,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
              "before its leased specs are reassigned "
              f"(default: {DEFAULT_LEASE_TTL:g})",
     )
+    p.add_argument(
+        "--ship-traces", action="store_true",
+        help="remote backend: build each unique workload trace once "
+             "broker-side and ship the (--codec compressed) blob to "
+             "cold workers instead of letting each rebuild it",
+    )
     _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
     p = sub.add_parser(
         "worker",
@@ -308,18 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker identity shown in broker accounting "
              "(default: <hostname>-<pid>)",
     )
+    p.add_argument(
+        "--no-fetch-traces", action="store_true",
+        help="always build traces locally, even when the broker "
+             "offers compressed trace blobs over the wire",
+    )
+    p.add_argument(
+        "--codec", choices=CODEC_NAMES, default="none",
+        help="compression codec for this worker's local trace-cache "
+             "writes (reads decode any codec; default: none)",
+    )
     p = sub.add_parser(
         "cache", help="inspect or prune the shared result cache"
     )
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
-    for cache_cmd in ("stats", "prune"):
-        cp = cache_sub.add_parser(
-            cache_cmd,
-            help=(
-                "show entry/claim/trace accounting" if cache_cmd == "stats"
-                else "apply retention limits and sweep stale claims"
-            ),
-        )
+    cache_help = {
+        "stats": "show entry/claim/trace accounting",
+        "prune": "apply retention limits and sweep stale claims",
+        "migrate": "re-encode existing result/trace entries under a "
+                   "codec (in place, atomic, readable throughout)",
+    }
+    for cache_cmd in ("stats", "prune", "migrate"):
+        cp = cache_sub.add_parser(cache_cmd, help=cache_help[cache_cmd])
         cp.add_argument(
             "--cache-dir", metavar="PATH", default=DEFAULT_CACHE_DIR,
             help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
@@ -358,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="SIZE",
                 help="then drop oldest results until under SIZE "
                      "(e.g. 500M, 2G)",
+            )
+        if cache_cmd == "migrate":
+            cp.add_argument(
+                "--codec", choices=CODEC_NAMES, required=True,
+                help="target codec ('none' restores the legacy raw "
+                     "format)",
             )
     p = sub.add_parser(
         "report", help="run the full evaluation, emit one markdown doc"
@@ -404,15 +439,18 @@ def _backend_from_args(args):
         listen=getattr(args, "listen", ("127.0.0.1", 0)),
         workers=max(1, jobs) if workers is None else workers,
         lease_ttl=getattr(args, "lease_ttl", DEFAULT_LEASE_TTL),
+        ship_traces=getattr(args, "ship_traces", False),
+        codec=getattr(args, "codec", "none"),
         announce=_announce_broker,
     )
 
 
 def _runner_from_args(args, progress=None) -> Runner:
     cache = None
+    codec = getattr(args, "codec", "none")
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir and not getattr(args, "no_cache", False):
-        cache = ResultCache(cache_dir)
+        cache = ResultCache(cache_dir, codec=codec)
     # an explicit --trace-cache always wins (even under --no-cache,
     # which disables only the *result* cache); run-all additionally
     # defaults the trace cache to live inside an active result cache
@@ -421,7 +459,9 @@ def _runner_from_args(args, progress=None) -> Runner:
         getattr(args, "command", None) == "run-all"
     ):
         trace_dir = str(Path(cache_dir) / "traces")
-    trace_cache = TraceCache(trace_dir) if trace_dir else None
+    trace_cache = (
+        TraceCache(trace_dir, codec=codec) if trace_dir else None
+    )
     return Runner(
         jobs=getattr(args, "jobs", 1),
         cache=cache,
@@ -453,6 +493,13 @@ def _run_all(args) -> int:
         print(
             f"run-all: --cooperative conflicts with "
             f"--backend {args.backend}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ship_traces and args.backend != "remote":
+        print(
+            "run-all: --ship-traces requires --backend remote "
+            "(traces ship over the broker's wire protocol)",
             file=sys.stderr,
         )
         return 2
@@ -494,6 +541,15 @@ def _run_all(args) -> int:
             f"{tc.builds} builds this process, "
             f"{tc.entries()} traces on disk"
         )
+    broker = getattr(runner.backend, "broker", None)
+    if broker is not None and broker.ship_traces:
+        bs = broker.stats
+        print(
+            f"[run-all] trace shipping: {bs.trace_builds} broker "
+            f"builds, {bs.trace_fetches} fetches served, "
+            f"{_fmt_bytes(bs.trace_bytes)} shipped "
+            f"({_fmt_bytes(bs.result_bytes)} of reports received)"
+        )
     return 0
 
 
@@ -532,10 +588,25 @@ def _print_cache_stats(cache, store, traces, claim_ttl) -> None:
             f"{info.host}/{info.pid} "
             f"for {_fmt_age(max(0.0, now - info.created))}"
         )
+    # throughput: per-holder completed-jobs counters written next to
+    # the claim files (pid 0 marks a remote worker name, not a local
+    # process — the broker counts on its behalf)
+    counters = completions(cache.root)
+    if counters:
+        done = ", ".join(
+            f"{_holder(info.host, info.pid)}: {info.done} done "
+            f"({info.rate_per_min():.1f}/min)"
+            for info in counters
+        )
+        print(f"  done     {done}")
     print(
         f"  traces   {traces.entries()} entries, "
         f"{_fmt_bytes(traces.total_bytes())}"
     )
+
+
+def _holder(host: str, pid: int) -> str:
+    return host if pid == 0 else f"{host}/{pid}"
 
 
 def _cache_command(args) -> int:
@@ -564,15 +635,35 @@ def _cache_command(args) -> int:
         except KeyboardInterrupt:
             pass
         return 0
+    if args.cache_command == "migrate":
+        for label, examined, changed, before, after in (
+            ("results", *cache.migrate(args.codec)),
+            ("traces ", *traces.migrate(args.codec)),
+        ):
+            print(
+                f"{label}  {changed}/{examined} entries re-encoded "
+                f"to {args.codec} "
+                f"({_fmt_bytes(before)} -> {_fmt_bytes(after)})"
+            )
+        return 0
     # prune: age sweep per store, then one *combined* byte budget over
     # results + traces (so --max-bytes bounds the directory as a
-    # whole), then stale claims
+    # whole), then stale claims. Completed-jobs counters of holders
+    # idle past --max-age are swept too, so the `cache stats` done
+    # line tracks the live fleet rather than history.
     def trace_paths():
         if traces.root.is_dir():
             yield from traces.root.glob("*/*.pkl")
 
-    removed_age = cache.prune_by(max_age=args.max_age) + prune_files(
-        trace_paths(), max_age=args.max_age
+    def counter_paths():
+        claims_dir = Path(args.cache_dir) / "claims"
+        if claims_dir.is_dir():
+            yield from claims_dir.glob("*.done")
+
+    removed_age = (
+        cache.prune_by(max_age=args.max_age)
+        + prune_files(trace_paths(), max_age=args.max_age)
+        + prune_files(counter_paths(), max_age=args.max_age)
     )
     removed_budget = prune_files(
         list(cache.entry_paths()) + list(trace_paths()),
@@ -601,6 +692,8 @@ def _worker_command(args) -> int:
             batch=max(1, args.batch),
             trace_root=args.trace_cache,
             name=args.name,
+            fetch_traces=not args.no_fetch_traces,
+            trace_codec=args.codec,
         )
     except (OSError, ProtocolError) as exc:
         print(
@@ -608,9 +701,15 @@ def _worker_command(args) -> int:
             file=sys.stderr,
         )
         return 1
+    shipped = (
+        f", {stats.traces_fetched} traces fetched "
+        f"({_fmt_bytes(stats.trace_bytes)} on the wire, "
+        f"{stats.trace_fallbacks} fallbacks)"
+        if stats.traces_fetched or stats.trace_fallbacks else ""
+    )
     print(
         f"[worker {stats.name}] grid done: {stats.executed} executed, "
-        f"{stats.failed} failed, {stats.leased} leased"
+        f"{stats.failed} failed, {stats.leased} leased{shipped}"
     )
     return 0
 

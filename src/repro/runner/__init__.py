@@ -23,8 +23,11 @@ from repro.runner.claims import (
     Backoff,
     ClaimInfo,
     ClaimStore,
+    CompletionCounter,
+    CompletionInfo,
     FileLock,
     HeartbeatKeeper,
+    completions,
 )
 from repro.runner.runner import Runner, RunnerStats, execute_spec
 from repro.runner.backends import (
@@ -62,6 +65,8 @@ __all__ = [
     "CacheStats",
     "ClaimInfo",
     "ClaimStore",
+    "CompletionCounter",
+    "CompletionInfo",
     "CooperativeBackend",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_TTL",
@@ -82,6 +87,7 @@ __all__ = [
     "WorkerStats",
     "accuracy_job",
     "census_job",
+    "completions",
     "default_backend",
     "encode_frame",
     "execute_spec",

@@ -38,6 +38,7 @@ from repro.runner.claims import (
     DEFAULT_TTL,
     Backoff,
     ClaimStore,
+    CompletionCounter,
     HeartbeatKeeper,
 )
 from repro.runner.spec import JobSpec
@@ -72,6 +73,11 @@ class ExecutionBackend:
 
 def _trace_root(runner: "Runner") -> Optional[str]:
     return str(runner.trace_cache.root) if runner.trace_cache else None
+
+
+def _trace_codec(runner: "Runner") -> str:
+    """The codec name worker processes should write traces under."""
+    return runner.trace_cache.codec.name if runner.trace_cache else "none"
 
 
 def _grouped(specs: List[JobSpec]) -> List[JobSpec]:
@@ -127,7 +133,7 @@ class PoolBackend(ExecutionBackend):
         with multiprocessing.Pool(
             processes=min(self.jobs, len(ordered)),
             initializer=_execution._worker_init,
-            initargs=(_trace_root(runner),),
+            initargs=(_trace_root(runner), _trace_codec(runner)),
         ) as pool:
             for spec, value in _pooled(pool, ordered, self.jobs):
                 yield spec, value, "run"
@@ -163,6 +169,7 @@ class CooperativeBackend(ExecutionBackend):
     def run(self, specs, runner):
         cache = runner.cache
         store = ClaimStore(cache.root, ttl=self.claim_ttl)
+        completed = CompletionCounter(cache.root)
         keys = {spec: cache.key(spec) for spec in specs}
         pending = list(specs)
         held: Dict[str, JobSpec] = {}
@@ -177,7 +184,7 @@ class CooperativeBackend(ExecutionBackend):
                 pool = multiprocessing.Pool(
                     processes=self.jobs,
                     initializer=_execution._worker_init,
-                    initargs=(_trace_root(runner),),
+                    initargs=(_trace_root(runner), _trace_codec(runner)),
                 )
             with HeartbeatKeeper(store) as keeper:
                 while pending:
@@ -205,6 +212,7 @@ class CooperativeBackend(ExecutionBackend):
                         store.release(keys[spec])  # ...free the claim
                         keeper.discard(keys[spec])
                         held.pop(keys[spec], None)
+                        completed.add(1)  # per-holder throughput
                         yield spec, value, "run"
                         progressed = True
                     pending = deferred

@@ -24,6 +24,12 @@ the full grid you intend to keep.
 Writes are atomic (temp file + ``os.replace``) so concurrent runner
 processes sharing a cache directory never observe torn entries; a
 corrupt or unreadable entry is treated as a miss and deleted.
+
+Entries are written through a pluggable codec (:mod:`repro.codecs`):
+``none`` keeps the legacy raw-pickle format, ``zlib`` compresses.
+Reads are codec-transparent — whatever codec wrote an entry
+(including the pre-codec format) any ``ResultCache`` decodes it, and
+:meth:`ResultCache.migrate` re-encodes a directory in place.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from typing import Any, Iterable, Optional, Tuple
 
 from repro._fsutil import atomic_write_bytes
 from repro._version import __version__
+from repro.codecs import get_codec, migrate_files, pack, unpack
 from repro.runner.claims import DEFAULT_TTL, ClaimStore
 from repro.runner.spec import JobSpec
 
@@ -101,10 +108,11 @@ class ResultCache:
     """Spec-hash -> pickled report store under one directory."""
 
     def __init__(
-        self, root, salt: Optional[str] = None
+        self, root, salt: Optional[str] = None, codec="none"
     ) -> None:
         self.root = Path(root)
         self.salt = __version__ if salt is None else salt
+        self.codec = get_codec(codec)
 
     def key(self, spec: JobSpec) -> str:
         payload = (
@@ -121,7 +129,7 @@ class ResultCache:
         path = self.path(spec)
         try:
             with open(path, "rb") as handle:
-                return True, pickle.load(handle)
+                return True, pickle.loads(unpack(handle.read()))
         except FileNotFoundError:
             return False, None
         except Exception:
@@ -130,10 +138,15 @@ class ResultCache:
             return False, None
 
     def put(self, spec: JobSpec, value: Any) -> Path:
-        return atomic_write_bytes(
-            self.path(spec),
-            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return atomic_write_bytes(self.path(spec), pack(raw, self.codec))
+
+    def migrate(self, codec):
+        """Re-encode every entry under ``codec`` in place; returns
+        ``(examined, changed, bytes_before, bytes_after)``. Safe while
+        readers are live — rewrites are atomic and reads decode any
+        codec."""
+        return migrate_files(self.entry_paths(), codec)
 
     def entries(self) -> int:
         """Number of stored results (any salt)."""

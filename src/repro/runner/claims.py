@@ -40,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import re
 import socket
 import threading
 import time
@@ -56,6 +57,9 @@ except ImportError:  # pragma: no cover
 
 #: subdirectory of a cache root holding claim files
 CLAIMS_DIRNAME = "claims"
+
+#: suffix of per-holder completed-jobs counter files (next to claims)
+DONE_SUFFIX = ".done"
 
 #: a claim whose heartbeat is older than this many seconds is stale
 DEFAULT_TTL = 30.0
@@ -324,6 +328,96 @@ class ClaimStore:
         for info in self.claims():
             (live if self.is_live(info) else stale).append(info)
         return live, stale
+
+
+@dataclass(frozen=True)
+class CompletionInfo:
+    """One parsed per-holder ``<host>-<pid>.done`` counter file."""
+
+    host: str
+    pid: int
+    done: int
+    started: float
+    updated: float
+
+    def rate_per_min(self) -> float:
+        """Average completions per minute over the counter's life
+        (start of work to last completion, floored at one second)."""
+        elapsed = max(self.updated - self.started, 1.0)
+        return self.done * 60.0 / elapsed
+
+
+class CompletionCounter:
+    """Per-holder completed-jobs counter next to the claim files.
+
+    Fleet members (cooperative peers, the remote broker on behalf of
+    each worker) bump their own counter after every publish, so
+    ``repro cache stats --watch`` can report *throughput* (jobs/min
+    per holder), not just how many claims each holder currently sits
+    on. One file per holder, one writer per file — no lock needed;
+    writes are atomic replaces so readers never see torn JSON.
+
+    ``started`` is stamped at construction (when the holder begins
+    working), so the first completion already has a denominator.
+
+    The filename is a *sanitized* render of the holder identity —
+    remote worker names arrive over the network/CLI and must not
+    traverse out of the claims directory — while the JSON payload
+    keeps the identity verbatim for display.
+    """
+
+    def __init__(
+        self,
+        root,
+        owner=None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.dir = Path(root) / CLAIMS_DIRNAME
+        self.host, self.pid = owner or (socket.gethostname(), os.getpid())
+        self.clock = clock
+        self.done = 0
+        self.started = self.clock()
+
+    def path(self) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", f"{self.host}-{self.pid}")
+        return self.dir / f"{safe}{DONE_SUFFIX}"
+
+    def add(self, n: int = 1) -> None:
+        """Record ``n`` more completed jobs and persist the counter."""
+        self.done += n
+        payload = {
+            "host": self.host,
+            "pid": self.pid,
+            "done": self.done,
+            "started": self.started,
+            "updated": self.clock(),
+        }
+        atomic_write_bytes(
+            self.path(), json.dumps(payload).encode("utf-8")
+        )
+
+
+def completions(root) -> List[CompletionInfo]:
+    """Every parseable completed-jobs counter under ``root``'s claims
+    directory (unreadable/corrupt files are skipped)."""
+    out = []
+    directory = Path(root) / CLAIMS_DIRNAME
+    if directory.is_dir():
+        for path in sorted(directory.glob(f"*{DONE_SUFFIX}")):
+            try:
+                data = json.loads(path.read_text())
+                out.append(
+                    CompletionInfo(
+                        host=str(data["host"]),
+                        pid=int(data["pid"]),
+                        done=int(data["done"]),
+                        started=float(data["started"]),
+                        updated=float(data["updated"]),
+                    )
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+    return out
 
 
 class HeartbeatKeeper:

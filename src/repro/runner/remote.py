@@ -19,9 +19,30 @@ Wire protocol (``ltp-remote/1``): one frame per message — the 4-byte
 magic ``LTPW``, a version byte, a big-endian u32 payload length, then
 the pickled message dict — request/reply over a persistent connection.
 Messages: ``hello``/``welcome``, ``lease``/``specs``, ``result``,
-``error``, ``heartbeat`` and ``bye``. Workers execute leased specs
-with :func:`repro.runner.runner.execute_spec` plus their local trace
-cache, and stream pickled reports back for the broker to publish.
+``error``, ``heartbeat``, ``bye``, and — when trace shipping is on —
+``trace-fetch``/``trace``. Workers execute leased specs with
+:func:`repro.runner.runner.execute_spec` plus their local trace cache,
+and stream pickled reports back for the broker to publish. Report
+payloads travel through the broker-advertised codec
+(:mod:`repro.codecs`), so ``paper``-size reports ship compressed.
+
+**Trace distribution** (``ship_traces=True`` / ``run-all
+--ship-traces``): re-synthesizing a multi-megabyte ``ProgramSet`` on
+every cold worker is the dominant fleet start-up cost, so the broker
+becomes the single build site. The ``welcome`` frame advertises
+``ship_traces`` and the wire ``codec``; each lease grant carries
+*trace offers* — the :func:`~repro.workloads.trace_cache.trace_key`
+content addresses (sha256 of ``Workload.fingerprint()``) of the
+granted specs' traces. A worker that has neither the trace memoized
+nor in its local trace cache sends ``trace-fetch`` with the key; the
+broker builds (or loads from its own trace cache) the ``ProgramSet``
+**once fleet-wide**, packs it through the codec, and replies with the
+blob plus a sha256 digest of the raw pickle. The worker verifies the
+reply addresses the key it derived from the spec itself, that the
+payload decodes and matches the digest, and that it unpickles to a
+``ProgramSet`` — any failure (corrupt, truncated, digest mismatch,
+unknown codec) falls back to a local build without failing the spec.
+Cold-fleet trace cost drops from O(workers x builds) to O(builds).
 
 Lease lifecycle mirrors the claim files::
 
@@ -67,10 +88,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import repro.runner.runner as _execution
-from repro.runner.backends import ExecutionBackend, _trace_root
+from repro.codecs import CodecError, blob_codec, get_codec, pack, unpack
+from repro.runner.backends import ExecutionBackend, _trace_codec, _trace_root
 from repro.runner.cache import ResultCache
+from repro.runner.claims import CompletionCounter
 from repro.runner.spec import JobSpec
-from repro.workloads import TraceCache
+from repro.trace.program import ProgramSet
+from repro.workloads import TraceCache, cached_build, get_workload, trace_key
 
 #: frame header: magic, protocol version, payload length
 MAGIC = b"LTPW"
@@ -87,6 +111,12 @@ MAX_FRAME = 512 * 1024 * 1024
 #: connection with no attempt counted (the spec would then cycle
 #: lease -> expire -> reassign forever)
 _REPORT_BUDGET = MAX_FRAME - 65536
+
+#: largest packed trace blob the broker will ship; a bigger one is
+#: answered ``blob: None`` (worker builds locally) because the
+#: oversized frame would be rejected *worker*-side, killing the
+#: worker's connection instead of degrading gracefully
+_TRACE_BUDGET = MAX_FRAME - 65536
 
 #: seconds without a heartbeat before a worker's lease is reassigned
 DEFAULT_LEASE_TTL = 30.0
@@ -327,6 +357,14 @@ class BrokerStats:
     errors: int = 0
     #: specs handed out, including reassignments after expiry
     leases: int = 0
+    #: packed report bytes received on result frames
+    result_bytes: int = 0
+    #: trace blobs served to workers over the wire
+    trace_fetches: int = 0
+    #: packed trace bytes shipped to workers
+    trace_bytes: int = 0
+    #: broker-side trace builds — at most one per unique fingerprint
+    trace_builds: int = 0
     workers: Set[str] = field(default_factory=set)
 
 
@@ -349,14 +387,44 @@ class Broker:
         max_attempts: int = 3,
         clock: Callable[[], float] = time.time,
         mirror_claims: bool = True,
+        ship_traces: bool = False,
+        codec="none",
+        trace_cache: Optional[TraceCache] = None,
     ) -> None:
         unique = list(dict.fromkeys(specs))
         self.cache = cache
         self.lease_ttl = lease_ttl
         self.poll = poll
+        self.codec = get_codec(codec)
+        self.ship_traces = ship_traces
+        self.trace_cache = trace_cache
         self._by_key: Dict[str, JobSpec] = {
             self._key(spec): spec for spec in unique
         }
+        #: lease key -> trace content address (ship_traces only)
+        self._trace_of: Dict[str, str] = {}
+        #: trace content address -> a spec that needs that trace
+        self._trace_specs: Dict[str, JobSpec] = {}
+        #: trace content address -> (packed blob, raw-pickle digest),
+        #: or None for a blob too big to ship; populated only when no
+        #: trace-cache file can serve later fetches (RAM bound)
+        self._trace_blobs: Dict[str, Optional[Tuple[bytes, str]]] = {}
+        #: trace content address -> raw-pickle digest of the
+        #: cache-file blob (avoids re-hashing per fetch)
+        self._trace_digests: Dict[str, str] = {}
+        if ship_traces:
+            for key, spec in self._by_key.items():
+                tkey = trace_key(self._workload_of(spec))
+                self._trace_of[key] = tkey
+                self._trace_specs.setdefault(tkey, spec)
+        #: one lock per trace key, so two workers racing on the same
+        #: trace build it once while builds of *different* traces
+        #: proceed concurrently
+        self._trace_locks: Dict[str, threading.Lock] = {
+            tkey: threading.Lock() for tkey in self._trace_specs
+        }
+        #: per-worker completed-jobs counters (claims-dir throughput)
+        self._counters: Dict[str, CompletionCounter] = {}
         self.table = LeaseTable(
             self._by_key,
             ttl=lease_ttl,
@@ -386,6 +454,12 @@ class Broker:
             return self.cache.key(spec)
         payload = f"repro-remote/{spec.canonical()}"
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _workload_of(spec: JobSpec):
+        return get_workload(
+            spec.workload, spec.size, **dict(spec.overrides)
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -463,15 +537,23 @@ class Broker:
         if mtype == "hello":
             with self._lock:
                 self.stats.workers.add(worker)
+            if self._claims is not None:
+                # start the worker's throughput counter now, so its
+                # first completion already has a real denominator
+                self._counter_for(worker)
             return {
                 "type": "welcome",
                 "protocol": PROTOCOL_VERSION,
                 "lease_ttl": self.lease_ttl,
                 "poll": self.poll,
                 "specs": self.stats.specs,
+                "ship_traces": self.ship_traces,
+                "codec": self.codec.name,
             }
         if mtype == "lease":
             return self._handle_lease(worker, int(message.get("max", 1)))
+        if mtype == "trace-fetch":
+            return self._handle_trace_fetch(str(message.get("key", "")))
         if mtype == "result":
             return self._handle_result(
                 worker, message.get("key"), message.get("report")
@@ -516,11 +598,18 @@ class Broker:
             for key in keys:
                 self._claims.acquire(key)  # advisory mirror
         if keys:
-            return {
+            reply = {
                 "type": "specs",
                 "leases": [(key, self._by_key[key]) for key in keys],
                 "done": False,
             }
+            if self.ship_traces:
+                # trace-offer: advertise the content addresses of the
+                # granted specs' traces as fetchable from this broker
+                reply["trace_offers"] = sorted(
+                    {self._trace_of[key] for key in keys}
+                )
+            return reply
         return {
             "type": "specs",
             "leases": [],
@@ -528,11 +617,103 @@ class Broker:
             "wait": self.poll,
         }
 
+    def _handle_trace_fetch(self, key: str) -> dict:
+        """Serve one packed trace blob (a ``trace-offer`` fulfilment).
+
+        The first fetch of a key loads the blob from the broker's own
+        trace cache (when its on-disk codec matches the wire codec the
+        file bytes ship as-is — no unpickle/re-compress) or builds the
+        trace once and packs it, so however many cold workers ask, the
+        fleet pays for exactly one build per unique workload
+        fingerprint. An unknown key, shipping disabled, or a blob past
+        the wire budget answers ``blob: None`` and the worker builds
+        locally.
+        """
+        if not self.ship_traces or key not in self._trace_specs:
+            return {"type": "trace", "key": key, "blob": None}
+        with self._trace_locks[key]:
+            entry = self._trace_entry(key)
+        if entry is None:
+            return {"type": "trace", "key": key, "blob": None}
+        blob, digest = entry
+        with self._lock:
+            self.stats.trace_fetches += 1
+            self.stats.trace_bytes += len(blob)
+        return {
+            "type": "trace",
+            "key": key,
+            "blob": blob,
+            "digest": digest,
+            "codec": self.codec.name,
+        }
+
+    def _trace_entry(self, key: str) -> Optional[Tuple[bytes, str]]:
+        """``(packed blob, digest)`` for a known trace key, building
+        at most once; ``None`` marks an unshippable (oversized) trace.
+        Caller holds the key's lock."""
+        if key in self._trace_blobs:  # memoized blob or refusal
+            return self._trace_blobs[key]
+        cache = self.trace_cache
+        workload = self._workload_of(self._trace_specs[key])
+        if cache is not None:
+            blob = cache.load_blob(workload)
+            if blob is not None:
+                # serve the stored file bytes as-is; hash the raw
+                # pickle once, then only re-read the (page-cached)
+                # file per fetch instead of holding blobs in RAM.
+                # A torn header or corrupt payload falls through to
+                # cached_build, whose read path repairs the entry.
+                try:
+                    digest = None
+                    if blob_codec(blob) == self.codec.name:
+                        digest = self._trace_digests.get(key)
+                        if digest is None:
+                            digest = hashlib.sha256(
+                                unpack(blob)
+                            ).hexdigest()
+                except CodecError:
+                    digest = None
+                if digest is not None:
+                    if len(blob) > _TRACE_BUDGET:
+                        self._trace_blobs[key] = None
+                        return None
+                    self._trace_digests[key] = digest
+                    return blob, digest
+        before = cache.builds if cache is not None else 0
+        programs = cached_build(workload, cache)
+        built = cache is None or cache.builds > before
+        with self._lock:
+            self.stats.trace_builds += int(built)
+        raw = pickle.dumps(programs, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pack(raw, self.codec)
+        if len(blob) > _TRACE_BUDGET:
+            # shipping it would tear down the worker connection on
+            # the oversized frame; refuse once, workers build locally
+            self._trace_blobs[key] = None
+            return None
+        entry = (blob, hashlib.sha256(raw).hexdigest())
+        if (
+            built
+            and cache is not None
+            and cache.codec.name == self.codec.name
+        ):
+            # cached_build just wrote the entry in the wire codec, so
+            # the load_blob fast path serves every later fetch
+            self._trace_digests[key] = entry[1]
+        else:
+            # no cache file in the wire codec can serve later
+            # fetches (no cache, codec mismatch, or a pre-existing
+            # file in another codec) — keep the packed blob in memory
+            self._trace_blobs[key] = entry
+        return entry
+
     def _handle_result(self, worker: str, key, data) -> dict:
         if key not in self._by_key:
             return {"type": "error", "message": f"unknown key {key!r}"}
         try:
-            value = pickle.loads(data)
+            # unpack() is codec-transparent: raw pickled reports from
+            # codec-less workers decode exactly like packed ones
+            value = pickle.loads(unpack(data))
         except Exception as exc:
             return self._handle_error(
                 worker, key, f"undecodable report: {exc}"
@@ -541,6 +722,7 @@ class Broker:
             first = self.table.complete(key)
             if first:
                 self.stats.results += 1
+                self.stats.result_bytes += len(data)
             else:
                 self.stats.duplicates += 1
         if not first:
@@ -553,9 +735,28 @@ class Broker:
             self.cache.put(spec, value)  # publish, then...
         if self._claims is not None:
             self._claims.release(key)    # ...free the mirror claim
+            self._bump_completed(worker)
         self.results[key] = value
         self._queue.put((spec, value))
         return {"type": "ok", "duplicate": False}
+
+    def _counter_for(self, worker: str) -> CompletionCounter:
+        with self._lock:
+            counter = self._counters.get(worker)
+            if counter is None:
+                counter = CompletionCounter(
+                    self.cache.root, owner=(worker, 0)
+                )
+                self._counters[worker] = counter
+        return counter
+
+    def _bump_completed(self, worker: str) -> None:
+        """Advance ``worker``'s completed-jobs counter in the claims
+        directory (pid 0: the holder is a remote worker name, not a
+        local process), feeding `cache stats --watch` throughput.
+        The counter is normally created at ``hello`` — its start
+        stamp — so jobs/min spans the worker's whole session."""
+        self._counter_for(worker).add(1)
 
     def _handle_error(self, worker: str, key, message: str) -> dict:
         if key not in self._by_key:
@@ -652,6 +853,14 @@ class Broker:
                     f"({self._counts_text()})"
                 )
 
+    def results_by_spec(self) -> Dict[JobSpec, Any]:
+        """``spec -> report`` for every completed key (post-run
+        introspection; :meth:`stream` is the live path)."""
+        return {
+            self._by_key[key]: value
+            for key, value in self.results.items()
+        }
+
     def _counts_text(self) -> str:
         counts = self.table.counts()
         return ", ".join(f"{n} {state}" for state, n in counts.items())
@@ -668,6 +877,89 @@ class WorkerStats:
     leased: int = 0
     executed: int = 0
     failed: int = 0
+    #: trace blobs fetched from the broker instead of built locally
+    traces_fetched: int = 0
+    #: fetched blobs rejected by verification -> local build fallback
+    trace_fallbacks: int = 0
+    #: packed trace bytes received over the wire
+    trace_bytes: int = 0
+
+
+def _verify_trace_blob(key: str, reply: Any) -> Optional[ProgramSet]:
+    """Decode and verify one fetched trace blob.
+
+    Checks, in order: the reply is a ``trace`` frame addressing the
+    key the worker derived from its *own* spec (the content address —
+    sha256 of ``Workload.fingerprint()``), the blob decodes under a
+    known codec, the decompressed payload matches the shipped sha256
+    digest (catching truncation and corruption), and the payload
+    unpickles to a :class:`ProgramSet`. Any failure returns ``None``
+    and the caller falls back to a local build — a bad blob never
+    fails the spec.
+    """
+    if not isinstance(reply, dict) or reply.get("type") != "trace":
+        return None
+    if reply.get("key") != key:
+        return None
+    blob = reply.get("blob")
+    if not isinstance(blob, (bytes, bytearray)):
+        return None
+    try:
+        raw = unpack(bytes(blob))
+    except CodecError:
+        return None
+    if reply.get("digest") != hashlib.sha256(raw).hexdigest():
+        return None
+    try:
+        programs = pickle.loads(raw)
+    except Exception:
+        return None
+    if not isinstance(programs, ProgramSet):
+        return None
+    return programs
+
+
+def _prefetch_traces(
+    stream,
+    worker: str,
+    leases,
+    offers,
+    stats: WorkerStats,
+    cache: Optional[TraceCache],
+) -> None:
+    """Fetch offered trace blobs this worker cannot serve locally.
+
+    For each leased spec whose trace is neither in the per-process
+    memo nor in the local trace cache, request the broker's blob and
+    — after verification — install it in the memo (and persist the
+    packed blob locally) so :func:`execute_spec` never rebuilds it.
+    Verification failures count as fallbacks; the later local build
+    happens inside the normal execution path.
+    """
+    for key, spec in leases:
+        mkey = (spec.workload, spec.size, spec.overrides)
+        if mkey in _execution._PROGRAMS:
+            continue
+        workload = get_workload(
+            spec.workload, spec.size, **dict(spec.overrides)
+        )
+        tkey = trace_key(workload)
+        if tkey not in offers:
+            continue
+        if cache is not None and cache.path(workload).exists():
+            continue  # local trace cache already holds it
+        reply = _request(stream, {
+            "type": "trace-fetch", "worker": worker, "key": tkey,
+        })
+        programs = _verify_trace_blob(tkey, reply)
+        if programs is None:
+            stats.trace_fallbacks += 1
+            continue
+        stats.traces_fetched += 1
+        stats.trace_bytes += len(reply["blob"])
+        _execution._PROGRAMS[mkey] = programs
+        if cache is not None:
+            cache.put_blob(workload, bytes(reply["blob"]))
 
 
 def run_worker(
@@ -675,22 +967,29 @@ def run_worker(
     batch: int = 1,
     trace_root: Optional[str] = None,
     name: Optional[str] = None,
+    fetch_traces: bool = True,
+    trace_codec: str = "none",
 ) -> WorkerStats:
     """Connect to a broker, execute leased specs until the grid is done.
 
     This is the body of ``repro worker --connect``. The worker leases
     up to ``batch`` specs per request, executes them with the standard
     workload/timing stack (attaching the persistent trace cache at
-    ``trace_root``, if given), reports each pickled result, and
-    heartbeats its outstanding leases every ``ttl / 4`` seconds on a
-    second connection so long simulations stay leased. Raises
-    :class:`ProtocolError`/``OSError`` when the broker vanishes.
+    ``trace_root``, if given), reports each pickled result — packed
+    through the broker-advertised codec — and heartbeats its
+    outstanding leases every ``ttl / 4`` seconds on a second
+    connection so long simulations stay leased. When the broker offers
+    trace shipping (and ``fetch_traces`` is left on), cold traces are
+    fetched as verified compressed blobs instead of rebuilt locally.
+    Raises :class:`ProtocolError`/``OSError`` when the broker
+    vanishes.
     """
     worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
     stats = WorkerStats(name=worker_name)
-    previous = _execution._swap_trace_cache(
-        TraceCache(trace_root) if trace_root else None
+    local_traces = (
+        TraceCache(trace_root, codec=trace_codec) if trace_root else None
     )
+    previous = _execution._swap_trace_cache(local_traces)
     sock = None
     stream = None
     beat: Optional[threading.Thread] = None
@@ -734,6 +1033,13 @@ def run_worker(
             "pid": os.getpid(),
         })
         ttl = float(welcome.get("lease_ttl", DEFAULT_LEASE_TTL))
+        ship = fetch_traces and bool(welcome.get("ship_traces"))
+        try:
+            wire_codec = get_codec(welcome.get("codec", "none"))
+        except CodecError:
+            # a newer broker advertising a codec we lack: send raw
+            # (its unpack() passes legacy payloads through unchanged)
+            wire_codec = get_codec("none")
         beat = threading.Thread(
             target=heartbeats, name="worker-heartbeat", daemon=True
         )
@@ -751,11 +1057,21 @@ def run_worker(
             with held_lock:
                 held.update(key for key, _ in leases)
             stats.leased += len(leases)
+            if ship:
+                offers = set(reply.get("trace_offers", ()))
+                if offers:
+                    _prefetch_traces(
+                        stream, worker_name, leases, offers,
+                        stats, local_traces,
+                    )
             for key, spec in leases:
                 try:
                     value = _execution.execute_spec(spec)
-                    data = pickle.dumps(
-                        value, protocol=pickle.HIGHEST_PROTOCOL
+                    data = pack(
+                        pickle.dumps(
+                            value, protocol=pickle.HIGHEST_PROTOCOL
+                        ),
+                        wire_codec,
                     )
                     if len(data) > _REPORT_BUDGET:
                         raise ValueError(
@@ -821,6 +1137,9 @@ class RemoteBackend(ExecutionBackend):
         timeout: overall safety limit for one grid, ``None`` = wait.
         mirror_claims: mirror live leases into the cache's claims
             directory for ``cache stats`` visibility.
+        ship_traces: build each unique trace once broker-side and
+            offer the packed blob to cold workers over the wire.
+        codec: wire/trace compression codec name (``none``/``zlib``).
         announce: callback receiving the bound ``host:port`` string.
     """
 
@@ -832,6 +1151,8 @@ class RemoteBackend(ExecutionBackend):
     max_attempts: int = 3
     timeout: Optional[float] = None
     mirror_claims: bool = True
+    ship_traces: bool = False
+    codec: str = "none"
     announce: Optional[Callable[[str], None]] = field(
         default=None, repr=False, compare=False
     )
@@ -852,6 +1173,9 @@ class RemoteBackend(ExecutionBackend):
             poll=self.poll,
             max_attempts=self.max_attempts,
             mirror_claims=self.mirror_claims,
+            ship_traces=self.ship_traces,
+            codec=self.codec,
+            trace_cache=runner.trace_cache,
         )
         self.broker = broker
         host, port = broker.bind()
@@ -870,6 +1194,7 @@ class RemoteBackend(ExecutionBackend):
                         batch=self.batch,
                         trace_root=_trace_root(runner),
                         name=f"local-{index}-{os.getpid()}",
+                        trace_codec=_trace_codec(runner),
                     ),
                     daemon=True,
                 )

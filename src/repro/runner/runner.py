@@ -66,10 +66,11 @@ def _swap_trace_cache(cache: Optional[TraceCache]) -> Optional[TraceCache]:
     return previous
 
 
-def _worker_init(trace_root: Optional[str]) -> None:
-    """Pool-worker initializer: attach the shared trace cache."""
+def _worker_init(trace_root: Optional[str], codec: str = "none") -> None:
+    """Pool-worker initializer: attach the shared trace cache (writes
+    under the parent runner's codec; reads decode any codec)."""
     if trace_root:
-        _swap_trace_cache(TraceCache(trace_root))
+        _swap_trace_cache(TraceCache(trace_root, codec=codec))
 
 
 def _programs_for(spec: JobSpec) -> ProgramSet:

@@ -30,6 +30,7 @@ from repro.workloads.trace_cache import (
     TRACE_SCHEMA,
     TraceCache,
     cached_build,
+    trace_key,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "build_program_set",
     "cached_build",
     "get_workload",
+    "trace_key",
 ]

@@ -12,7 +12,8 @@ reloaded by every later process::
 
     <root>/
         ab/
-            ab3f...e1.pkl     # pickled ProgramSet
+            ab3f...e1.pkl     # pickled ProgramSet (optionally packed
+                              #   through repro.codecs)
 
 Layout and atomicity mirror :class:`repro.runner.cache.ResultCache`
 (temp file + ``os.replace``; corrupt entries degrade to misses), so a
@@ -20,6 +21,15 @@ trace cache can safely live inside a shared result-cache directory —
 ``repro run-all`` defaults it to ``<cache-dir>/traces``. Worker
 processes on large grids then deserialize traces instead of
 re-synthesizing them at start-up.
+
+Entries are written through a pluggable codec (``none`` keeps the
+legacy raw-pickle format; ``zlib`` shrinks ``paper``-size traces about
+80x). Reads are codec-transparent: whatever codec wrote an entry —
+including the pre-codec format — any ``TraceCache`` decodes it, and
+:meth:`migrate` re-encodes a directory in place. The raw packed blob
+is also addressable (:meth:`load_blob` / :meth:`put_blob`) so the
+remote broker can ship a compressed trace over the wire and a worker
+can persist it without a decompress/recompress round trip.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from repro._fsutil import atomic_write_bytes
+from repro.codecs import get_codec, migrate_files, pack, unpack
 from repro.trace.program import ProgramSet
 from repro.workloads.base import Workload
 
@@ -37,21 +48,31 @@ from repro.workloads.base import Workload
 TRACE_SCHEMA = 1
 
 
+def trace_key(workload: Workload) -> str:
+    """Content address of a workload's built trace: the sha256 of its
+    :meth:`~repro.workloads.base.Workload.fingerprint`. Equal keys
+    mean byte-identical builds — this is the digest the remote trace
+    shipping protocol addresses blobs by."""
+    payload = f"repro-trace/{TRACE_SCHEMA}/{workload.fingerprint()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 class TraceCache:
     """Workload-fingerprint -> pickled :class:`ProgramSet` store.
 
     ``hits`` / ``builds`` count this process's cache outcomes (pool
-    worker processes keep their own counters).
+    worker processes keep their own counters). ``codec`` selects the
+    entry compression for *writes*; reads decode any codec.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, codec="none") -> None:
         self.root = Path(root)
+        self.codec = get_codec(codec)
         self.hits = 0
         self.builds = 0
 
     def key(self, workload: Workload) -> str:
-        payload = f"repro-trace/{TRACE_SCHEMA}/{workload.fingerprint()}"
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return trace_key(workload)
 
     def path(self, workload: Workload) -> Path:
         key = self.key(workload)
@@ -62,7 +83,7 @@ class TraceCache:
         path = self.path(workload)
         try:
             with open(path, "rb") as handle:
-                value = pickle.load(handle)
+                value = pickle.loads(unpack(handle.read()))
             if not isinstance(value, ProgramSet):
                 raise TypeError(f"expected ProgramSet, got {type(value)}")
             return True, value
@@ -74,20 +95,43 @@ class TraceCache:
             return False, None
 
     def put(self, workload: Workload, programs: ProgramSet) -> Path:
+        raw = pickle.dumps(programs, protocol=pickle.HIGHEST_PROTOCOL)
         return atomic_write_bytes(
-            self.path(workload),
-            pickle.dumps(programs, protocol=pickle.HIGHEST_PROTOCOL),
+            self.path(workload), pack(raw, self.codec)
         )
 
-    def entries(self) -> int:
+    # -- packed-blob access (remote trace shipping) --------------------
+
+    def load_blob(self, workload: Workload) -> Optional[bytes]:
+        """The on-disk entry bytes exactly as stored (any codec), or
+        ``None`` — what a broker puts on the wire without re-packing."""
+        try:
+            return self.path(workload).read_bytes()
+        except OSError:
+            return None
+
+    def put_blob(self, workload: Workload, blob: bytes) -> Path:
+        """Store an already-packed entry (e.g. fetched over the wire
+        after digest verification) without decode/re-encode."""
+        return atomic_write_bytes(self.path(workload), blob)
+
+    # -- accounting ----------------------------------------------------
+
+    def entry_paths(self):
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+            return
+        yield from self.root.glob("*/*.pkl")
+
+    def entries(self) -> int:
+        return sum(1 for _ in self.entry_paths())
 
     def total_bytes(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(p.stat().st_size for p in self.root.glob("*/*.pkl"))
+        return sum(p.stat().st_size for p in self.entry_paths())
+
+    def migrate(self, codec) -> Tuple[int, int, int, int]:
+        """Re-encode every entry under ``codec`` in place; returns
+        ``(examined, changed, bytes_before, bytes_after)``."""
+        return migrate_files(self.entry_paths(), codec)
 
 
 def cached_build(

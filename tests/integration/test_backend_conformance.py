@@ -7,7 +7,10 @@ with a single parametrized matrix: for the same grid every backend
 must produce byte-identical reports, execute each unique spec exactly
 once fleet-wide, leak no claim files, and account identically in
 ``RunnerStats`` (cold run all-executed, warm run all-cache-hits).
-A future job-queue backend joins the matrix by adding one factory.
+The matrix is additionally parametrized over the cache/wire codec
+(``none``/``zlib``) — compression must be invisible to every one of
+those properties. A future job-queue backend joins the matrix by
+adding one factory.
 """
 
 import hashlib
@@ -33,6 +36,8 @@ SIZE = "tiny"
 
 BACKENDS = ("inline", "pool", "cooperative", "remote")
 
+CODECS = ("none", "zlib")
+
 
 def _grid():
     return [
@@ -57,8 +62,8 @@ def _digests(results) -> dict:
     }
 
 
-def _make_runner(kind: str, cache_dir) -> Runner:
-    cache = ResultCache(cache_dir)
+def _make_runner(kind: str, cache_dir, codec: str = "none") -> Runner:
+    cache = ResultCache(cache_dir, codec=codec)
     if kind == "inline":
         return Runner(cache=cache, backend=InlineBackend())
     if kind == "pool":
@@ -71,11 +76,12 @@ def _make_runner(kind: str, cache_dir) -> Runner:
             ),
         )
     # the acceptance-criteria configuration: a 2-worker remote run
-    # over localhost
+    # over localhost (codec also compresses the wire report frames)
     return Runner(
         cache=cache,
         backend=RemoteBackend(
-            workers=2, lease_ttl=20.0, poll=0.02, batch=2, timeout=240
+            workers=2, lease_ttl=20.0, poll=0.02, batch=2,
+            timeout=240, codec=codec,
         ),
     )
 
@@ -86,13 +92,14 @@ def serial_golden():
     return _digests(Runner().run(_grid()))
 
 
+@pytest.mark.parametrize("codec", CODECS)
 @pytest.mark.parametrize("kind", BACKENDS)
 class TestBackendConformance:
     def test_cold_run_is_exactly_once_and_byte_identical(
-        self, kind, tmp_path, serial_golden
+        self, kind, codec, tmp_path, serial_golden
     ):
         grid = _grid()
-        runner = _make_runner(kind, tmp_path)
+        runner = _make_runner(kind, tmp_path, codec)
         results = runner.run(grid)
 
         # byte-identical to the serial oracle, whatever the transport
@@ -111,20 +118,20 @@ class TestBackendConformance:
         assert list((tmp_path / "claims").glob("*.claim")) == []
 
     def test_warm_run_is_all_cache_hits(
-        self, kind, tmp_path, serial_golden
+        self, kind, codec, tmp_path, serial_golden
     ):
         grid = _grid()
-        _make_runner(kind, tmp_path).run(grid)
-        second = _make_runner(kind, tmp_path)
+        _make_runner(kind, tmp_path, codec).run(grid)
+        second = _make_runner(kind, tmp_path, codec)
         results = second.run(grid)
         assert second.stats.executed == 0
         assert second.stats.cache_hits == len(grid)
         assert second.stats.cache_fraction == 1.0
         assert _digests(results) == serial_golden
 
-    def test_requested_duplicates_collapse(self, kind, tmp_path):
+    def test_requested_duplicates_collapse(self, kind, codec, tmp_path):
         spec = census_job("em3d", SIZE)
-        runner = _make_runner(kind, tmp_path)
+        runner = _make_runner(kind, tmp_path, codec)
         results = runner.run([spec, spec, spec])
         assert results[spec].total_blocks > 0
         assert runner.stats.requested == 3
@@ -152,6 +159,22 @@ class TestRemoteFleetAccounting:
         assert stats.duplicates == 0
         assert backend.broker.table.reclaimed == 0
         assert len(stats.workers) == 2
+
+
+class TestCodecTransparency:
+    @pytest.mark.parametrize("cold,warm", [("none", "zlib"), ("zlib", "none")])
+    def test_warm_run_reads_entries_written_under_other_codec(
+        self, tmp_path, serial_golden, cold, warm
+    ):
+        """Switching --codec between runs must never invalidate the
+        cache: reads decode whatever codec wrote the entry."""
+        grid = _grid()
+        _make_runner("inline", tmp_path, cold).run(grid)
+        second = _make_runner("inline", tmp_path, warm)
+        results = second.run(grid)
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == len(grid)
+        assert _digests(results) == serial_golden
 
 
 class TestBackendSelection:

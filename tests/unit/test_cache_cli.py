@@ -319,3 +319,176 @@ class TestStatsWatch:
             broker.stop()
         # stop() released the mirror claims for the unfinished leases
         assert list((tmp_path / "claims").glob("*.claim")) == []
+
+
+class TestCacheMigrateCli:
+    def test_migrate_reencodes_results_and_traces(
+        self, tmp_path, capsys
+    ):
+        from repro.codecs import blob_codec
+        from repro.workloads import TraceCache, cached_build, get_workload
+
+        cache = ResultCache(tmp_path)
+        specs = _populate(cache)
+        traces = TraceCache(tmp_path / "traces")
+        cached_build(get_workload("em3d", SIZE), traces)
+
+        assert main([
+            "cache", "migrate", "--cache-dir", str(tmp_path),
+            "--codec", "zlib",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 entries re-encoded to zlib" in out
+        assert "1/1 entries re-encoded to zlib" in out
+        for spec in specs:
+            assert blob_codec(cache.path(spec).read_bytes()) == "zlib"
+            hit, _ = ResultCache(tmp_path).get(spec)
+            assert hit
+        hit, _ = TraceCache(tmp_path / "traces").get(
+            get_workload("em3d", SIZE)
+        )
+        assert hit
+
+    def test_migrate_back_to_none_restores_legacy_bytes(self, tmp_path):
+        import pickle
+
+        from repro.codecs import blob_codec
+
+        cache = ResultCache(tmp_path, codec="zlib")
+        specs = _populate(cache)
+        assert main([
+            "cache", "migrate", "--cache-dir", str(tmp_path),
+            "--codec", "none",
+        ]) == 0
+        for spec in specs:
+            blob = cache.path(spec).read_bytes()
+            assert blob_codec(blob) == "none"
+            assert blob.startswith(b"\x80")  # raw pickle again
+            hit, value = cache.get(spec)
+            assert hit
+            assert pickle.dumps(
+                value, pickle.HIGHEST_PROTOCOL
+            ) == blob
+
+
+class TestCodecFlagPlumbing:
+    def test_codec_flag_wires_both_caches(self, tmp_path):
+        args = build_parser().parse_args([
+            "run-all", "--cache-dir", str(tmp_path), "--codec", "zlib",
+        ])
+        runner = _runner_from_args(args)
+        assert runner.cache.codec.name == "zlib"
+        assert runner.trace_cache.codec.name == "zlib"
+
+    def test_codec_defaults_to_none(self, tmp_path):
+        args = build_parser().parse_args([
+            "run-all", "--cache-dir", str(tmp_path),
+        ])
+        runner = _runner_from_args(args)
+        assert runner.cache.codec.name == "none"
+        assert runner.trace_cache.codec.name == "none"
+
+    def test_experiment_commands_accept_codec(self, tmp_path):
+        args = build_parser().parse_args([
+            "fig9", "--cache-dir", str(tmp_path), "--codec", "zlib",
+        ])
+        assert _runner_from_args(args).cache.codec.name == "zlib"
+
+    def test_ship_traces_flag_builds_shipping_backend(self, tmp_path):
+        args = build_parser().parse_args([
+            "run-all", "--backend", "remote", "--ship-traces",
+            "--codec", "zlib", "--cache-dir", str(tmp_path),
+        ])
+        backend = _runner_from_args(args).backend
+        assert backend.name == "remote"
+        assert backend.ship_traces is True
+        assert backend.codec == "zlib"
+
+    def test_ship_traces_requires_remote_backend(self, capsys):
+        code = main(["run-all", "--ship-traces"])
+        assert code == 2
+        assert "--ship-traces requires" in capsys.readouterr().err
+
+    def test_worker_fetch_traces_flag(self):
+        args = build_parser().parse_args([
+            "worker", "--connect", "127.0.0.1:1", "--no-fetch-traces",
+        ])
+        assert args.no_fetch_traces
+
+
+class TestStatsThroughput:
+    def test_stats_reports_per_holder_jobs_per_min(
+        self, tmp_path, capsys
+    ):
+        from repro.runner import CompletionCounter
+
+        class Clock:
+            now = 1_000.0
+
+            def __call__(self):
+                return self.now
+
+        clock = Clock()
+        counter = CompletionCounter(
+            tmp_path, owner=("host-a", 11), clock=clock
+        )
+        clock.now += 60.0
+        counter.add(4)  # 4 jobs over a minute
+        remote = CompletionCounter(
+            tmp_path, owner=("worker-7", 0), clock=clock
+        )
+        clock.now += 60.0
+        remote.add(6)  # broker-counted remote worker: 6 in its 60s
+        assert main([
+            "cache", "stats", "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "host-a/11: 4 done (4.0/min)" in out
+        assert "worker-7: 6 done (6.0/min)" in out  # pid 0 elided
+
+    def test_stats_without_counters_has_no_done_line(
+        self, tmp_path, capsys
+    ):
+        cache = ResultCache(tmp_path)
+        _populate(cache)
+        assert main([
+            "cache", "stats", "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert "done" not in capsys.readouterr().out
+
+    def test_worker_codec_flag_parses(self):
+        args = build_parser().parse_args([
+            "worker", "--connect", "127.0.0.1:1", "--codec", "zlib",
+        ])
+        assert args.codec == "zlib"
+
+
+class TestPruneCounters:
+    def test_prune_sweeps_stale_done_counters(self, tmp_path):
+        import os as os_mod
+
+        from repro.runner import CompletionCounter
+
+        old = CompletionCounter(tmp_path, owner=("gone-host", 1))
+        old.add(3)
+        stamp = time.time() - 7200
+        os_mod.utime(old.path(), (stamp, stamp))
+        fresh = CompletionCounter(tmp_path, owner=("live-host", 2))
+        fresh.add(1)
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-age", "1h",
+        ]) == 0
+        from repro.runner import completions
+
+        remaining = completions(tmp_path)
+        assert [(c.host, c.pid) for c in remaining] == [("live-host", 2)]
+
+    def test_prune_without_max_age_keeps_counters(self, tmp_path):
+        from repro.runner import CompletionCounter, completions
+
+        CompletionCounter(tmp_path, owner=("host-a", 1)).add(1)
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert len(completions(tmp_path)) == 1

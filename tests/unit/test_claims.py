@@ -16,8 +16,10 @@ from repro.runner.backends import CooperativeBackend
 from repro.runner.claims import (
     Backoff,
     ClaimStore,
+    CompletionCounter,
     FileLock,
     HeartbeatKeeper,
+    completions,
     pid_alive,
 )
 
@@ -289,3 +291,83 @@ class TestBackoff:
         # a poll interval above the cap still polls at its own pace
         coarse = CooperativeBackend(claim_ttl=1.0, poll_interval=3.0)
         assert coarse._backoff().cap == pytest.approx(3.0)
+
+
+class TestCompletionCounter:
+    def test_add_persists_and_parses(self, tmp_path):
+        clock = FakeClock(1_000.0)
+        counter = CompletionCounter(
+            tmp_path, owner=("host-a", 11), clock=clock
+        )
+        clock.advance(30.0)
+        counter.add(1)
+        clock.advance(30.0)
+        counter.add(2)
+        infos = completions(tmp_path)
+        assert len(infos) == 1
+        info = infos[0]
+        assert (info.host, info.pid, info.done) == ("host-a", 11, 3)
+        assert info.started == 1_000.0
+        assert info.updated == 1_060.0
+
+    def test_rate_per_min_spans_start_to_last_update(self, tmp_path):
+        clock = FakeClock(1_000.0)
+        counter = CompletionCounter(
+            tmp_path, owner=("host-a", 11), clock=clock
+        )
+        clock.advance(90.0)
+        counter.add(3)
+        (info,) = completions(tmp_path)
+        assert info.rate_per_min() == pytest.approx(2.0)  # 3 in 90s
+
+    def test_one_holder_per_file(self, tmp_path):
+        a = CompletionCounter(tmp_path, owner=("host-a", 1))
+        b = CompletionCounter(tmp_path, owner=("host-b", 2))
+        a.add(1)
+        b.add(5)
+        infos = {(i.host, i.pid): i.done for i in completions(tmp_path)}
+        assert infos == {("host-a", 1): 1, ("host-b", 2): 5}
+
+    def test_counters_live_beside_claims_without_collision(
+        self, tmp_path
+    ):
+        store = ClaimStore(tmp_path, ttl=60.0)
+        assert store.acquire("deadbeef")
+        counter = CompletionCounter(tmp_path)
+        counter.add(1)
+        # claims ignore counter files, counters ignore claim files
+        assert [c.key for c in store.claims()] == ["deadbeef"]
+        assert len(completions(tmp_path)) == 1
+        assert counter.path().parent == store.dir
+
+    def test_corrupt_counter_file_is_skipped(self, tmp_path):
+        CompletionCounter(tmp_path, owner=("host-a", 1)).add(1)
+        (tmp_path / "claims" / "bad.done").write_text("not json")
+        infos = completions(tmp_path)
+        assert len(infos) == 1
+
+    def test_no_claims_dir_is_empty(self, tmp_path):
+        assert completions(tmp_path / "missing") == []
+
+    def test_hostile_holder_name_cannot_escape_claims_dir(
+        self, tmp_path
+    ):
+        """Remote worker names arrive over the network: a name with
+        path separators must be sanitized into the claims dir, not
+        traverse out of it."""
+        evil = CompletionCounter(
+            tmp_path, owner=("../../outside", 7)
+        )
+        evil.add(1)
+        assert evil.path().parent == tmp_path / "claims"
+        assert "/" not in evil.path().name
+        nested = CompletionCounter(tmp_path, owner=("rack1/node3", 8))
+        nested.add(2)
+        # both parse back with their verbatim identity
+        infos = {(i.host, i.pid): i.done for i in completions(tmp_path)}
+        assert infos == {("../../outside", 7): 1, ("rack1/node3", 8): 2}
+        # and nothing was written outside the claims directory
+        outside = [
+            p for p in tmp_path.parent.glob("*.done")
+        ] + [p for p in tmp_path.glob("*.done")]
+        assert outside == []
