@@ -1,0 +1,159 @@
+"""CI guard: the serve/submit path must match the inline backend.
+
+End-to-end, through the real CLI entry points:
+
+1. resolve a small grid with the inline backend (the golden bytes);
+2. start ``ltp-repro serve`` as a subprocess (autoscaling from zero,
+   free port, fresh cache) and parse the announced address;
+3. run ``ltp-repro submit`` against it (twice — the second submission
+   must be served entirely from the service's cache, exercising the
+   cross-grid amortization serve mode exists for);
+4. assert every report the service published is byte-identical to the
+   golden bytes, and that the autoscaler actually scaled (the
+   ``fleet.json`` status mirror records a scale-up event).
+
+Run as ``PYTHONPATH=src python scripts/serve_smoke_check.py [DIR]``;
+exits non-zero on any divergence.
+"""
+
+import json
+import pickle
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.experiments.cli import main as cli_main
+from repro.runner import PolicySpec, ResultCache, Runner, timing_job
+
+SIZE = "tiny"
+WORKLOAD = "em3d"
+
+
+def _grid():
+    # table4's em3d slice: small, deterministic, multi-policy
+    return [
+        timing_job(WORKLOAD, SIZE, PolicySpec(name=name))
+        for name in ("base", "dsi", "ltp")
+    ]
+
+
+def _start_serve(cache_dir: Path):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--listen", "127.0.0.1:0",
+            "--cache-dir", str(cache_dir),
+            "--max-workers", "2",
+            "--specs-per-worker", "2",
+            "--cooldown", "0.2",
+            "--scale-interval", "0.1",
+            "--lease-ttl", "10",
+            "--grids", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines = []
+
+    def pump():
+        for line in proc.stdout:
+            lines.append(line.rstrip())
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        for line in lines:
+            match = re.search(r"listening on (\S+)", line)
+            if match:
+                return proc, match.group(1), lines
+        if proc.poll() is not None:
+            break
+        time.sleep(0.1)
+    proc.kill()
+    raise AssertionError(
+        "serve never announced an address:\n" + "\n".join(lines)
+    )
+
+
+def main(argv) -> int:
+    if argv:
+        work_dir = Path(argv[0])
+        work_dir.mkdir(parents=True, exist_ok=True)
+        context = None
+    else:
+        context = tempfile.TemporaryDirectory()
+        work_dir = Path(context.name)
+    cache_dir = work_dir / "serve-cache"
+    try:
+        grid = _grid()
+        golden = {
+            spec: pickle.dumps(
+                value, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            for spec, value in Runner().run(grid).items()
+        }
+
+        proc, address, lines = _start_serve(cache_dir)
+        try:
+            for attempt in ("cold", "warm"):
+                rc = cli_main([
+                    "submit", "table4",
+                    "--size", SIZE, "--workloads", WORKLOAD,
+                    "--connect", address,
+                    "--timeout", "240",
+                ])
+                assert rc == 0, f"{attempt} submit exited {rc}"
+            proc.wait(timeout=60)  # --grids 2 ends the service
+            assert proc.returncode == 0, (
+                f"serve exited {proc.returncode}:\n"
+                + "\n".join(lines)
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # byte-identity: what the service published vs inline golden
+        cache = ResultCache(cache_dir)
+        for spec, raw in golden.items():
+            hit, value = cache.get(spec)
+            assert hit, (
+                f"{spec.label()} missing from the serve cache"
+            )
+            got = pickle.dumps(
+                value, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            assert got == raw, (
+                f"{spec.label()} diverged from the inline backend"
+            )
+
+        # the autoscaler did its job: a recorded scale-up from zero
+        status = json.loads(
+            (cache_dir / "claims" / "fleet.json").read_text()
+        )
+        ups = [
+            event for event in status["events"]
+            if event["action"] == "up"
+        ]
+        assert ups, f"no scale-up event recorded: {status['events']}"
+        assert ups[0]["live"] == 0, (
+            f"first scale-up did not start from zero: {ups[0]}"
+        )
+    finally:
+        if context is not None:
+            context.cleanup()
+    print(
+        "serve smoke OK: 2 submitted grids byte-identical to the "
+        "inline backend, fleet scaled up from zero "
+        f"({len(ups)} up event(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

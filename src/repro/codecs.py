@@ -151,6 +151,37 @@ def blob_codec(blob: bytes) -> str:
     return name
 
 
+#: header bytes that always cover magic + name length + longest name
+_CENSUS_HEADER = len(BLOB_MAGIC) + 1 + 255
+
+
+def codec_census(paths: Iterable) -> dict:
+    """Per-codec ``{name: (count, bytes)}`` over a set of entry files.
+
+    Reads only each file's blob header (magic + codec name), so a
+    census over a big cache stays cheap. Files without the container
+    magic count as ``"none"`` (raw/legacy format); files whose header
+    is torn count as ``"corrupt"``; unreadable files are skipped —
+    exactly the buckets ``cache stats`` reports.
+    """
+    out: dict = {}
+    for path in paths:
+        try:
+            path = Path(path)
+            size = path.stat().st_size
+            with open(path, "rb") as handle:
+                header = handle.read(_CENSUS_HEADER)
+        except OSError:
+            continue
+        try:
+            name = blob_codec(header)
+        except CodecError:
+            name = "corrupt"
+        count, total = out.get(name, (0, 0))
+        out[name] = (count + 1, total + size)
+    return out
+
+
 def recode_file(path, codec: Union[str, Codec]) -> Tuple[int, int, bool]:
     """Re-encode one cache entry file under ``codec``.
 

@@ -10,6 +10,9 @@ Examples::
     ltp-repro run-all --backend remote --listen 0.0.0.0:7463 \
         --remote-workers 0            # broker; attach workers below
     ltp-repro worker --connect broker-host:7463
+    ltp-repro serve --listen 0.0.0.0:7463 --max-workers 4
+    ltp-repro submit fig9 --size small --connect serve-host:7463
+    ltp-repro run-all --attach serve-host:7463   # whole grid, served
     ltp-repro cache stats --watch 2
     ltp-repro cache prune --max-age 7d --max-bytes 500M
     python -m repro.experiments.cli table3
@@ -27,18 +30,26 @@ broker (:mod:`repro.runner.remote`) that leases specs to ``ltp-repro
 worker --connect`` processes — no shared filesystem required. Both
 default to persisting built workload traces under
 ``<cache-dir>/traces`` so repeat runs skip ``ProgramSet`` synthesis.
+
+``serve`` keeps one broker alive *across* grids with an autoscaled
+local worker fleet (:mod:`repro.fleet`): ``submit`` (or ``run-all
+--attach``) enqueues an experiment's JobSpecs into the live lease
+table and streams the reports back — repeats arrive straight from the
+service's result cache, cold specs scale workers up from zero and the
+fleet drains back down when the queue empties.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
-from repro.codecs import CODEC_NAMES
+from repro.codecs import CODEC_NAMES, codec_census
 from repro.experiments import (
     ablations,
     figure6,
@@ -56,11 +67,19 @@ from repro.experiments import (
     table4,
     traffic,
 )
+from repro.fleet import (
+    FLEET_STATUS_NAME,
+    FleetService,
+    POLICY_NAMES,
+    make_policy,
+)
 from repro.runner import (
     ClaimStore,
+    GridClient,
     ResultCache,
     Runner,
     completions,
+    fleet_throughput,
     prune_files,
 )
 from repro.runner.backends import (
@@ -73,6 +92,7 @@ from repro.runner.remote import (
     DEFAULT_LEASE_TTL,
     ProtocolError,
     RemoteBackend,
+    RemoteExecutionError,
     run_worker,
 )
 from repro.timing.config import SystemConfig
@@ -304,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
              "broker-side and ship the (--codec compressed) blob to "
              "cold workers instead of letting each rebuild it",
     )
+    p.add_argument(
+        "--wait-workers-timeout", type=float, default=None,
+        metavar="SECS",
+        help="remote backend with --remote-workers 0: fail if no "
+             "external worker connects within SECS (default: warn "
+             "and wait forever)",
+    )
+    p.add_argument(
+        "--attach", type=_parse_address, default=None,
+        metavar="HOST:PORT",
+        help="submit the grid to a live `ltp-repro serve` broker "
+             "there instead of starting a broker (implies "
+             "--backend remote)",
+    )
     _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
     p = sub.add_parser(
         "worker",
@@ -336,6 +370,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", choices=CODEC_NAMES, default="none",
         help="compression codec for this worker's local trace-cache "
              "writes (reads decode any codec; default: none)",
+    )
+    p = sub.add_parser(
+        "serve",
+        help="run a persistent broker with an autoscaled local "
+             "worker fleet; `ltp-repro submit` enqueues grids into it",
+    )
+    p.add_argument(
+        "--listen", type=_parse_address, default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="broker bind address (default 127.0.0.1:0 — a free "
+             "port, printed at startup)",
+    )
+    p.add_argument(
+        "--policy", choices=POLICY_NAMES, default="queue",
+        help="scaling policy: 'queue' sizes the fleet to the backlog "
+             "(one worker per --specs-per-worker queued specs), "
+             "'throughput' sizes it to drain the backlog within "
+             "--drain-target seconds at the observed jobs/min "
+             "(default: queue)",
+    )
+    p.add_argument(
+        "--min-workers", type=int, default=0, metavar="N",
+        help="never scale below N local workers (default: 0 — an "
+             "idle service runs none)",
+    )
+    p.add_argument(
+        "--max-workers", type=int, default=4, metavar="N",
+        help="never scale above N local workers (default: 4)",
+    )
+    p.add_argument(
+        "--specs-per-worker", type=int, default=None, metavar="N",
+        help="queue policy: queued specs per worker (default: 4)",
+    )
+    p.add_argument(
+        "--drain-target", type=float, default=None, metavar="SECS",
+        help="throughput policy: drain the backlog within SECS "
+             "(default: 60)",
+    )
+    p.add_argument(
+        "--cooldown", type=float, default=10.0, metavar="SECS",
+        help="minimum seconds between fleet size changes "
+             "(default: 10)",
+    )
+    p.add_argument(
+        "--scale-interval", type=float, default=1.0, metavar="SECS",
+        help="seconds between autoscaler control ticks (default: 1)",
+    )
+    p.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="specs each local worker leases per request (default: 1)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+        metavar="SECS",
+        help="seconds without a worker heartbeat before its leased "
+             f"specs are reassigned (default: {DEFAULT_LEASE_TTL:g})",
+    )
+    p.add_argument(
+        "--ship-traces", action="store_true",
+        help="build each unique workload trace once broker-side and "
+             "ship the compressed blob to cold workers",
+    )
+    p.add_argument(
+        "--grids", type=int, default=None, metavar="N",
+        help="exit after N submitted grids complete (default: serve "
+             "until interrupted; used by smoke tests)",
+    )
+    _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
+    p = sub.add_parser(
+        "submit",
+        help="submit an experiment's grid to a `ltp-repro serve` "
+             "broker and render the result from the streamed reports",
+    )
+    p.add_argument(
+        "experiment", choices=(*EXPERIMENTS, "all"),
+        help="experiment grid to submit ('all' = the whole paper "
+             "grid, like run-all)",
+    )
+    p.add_argument(
+        "--connect", type=_parse_address, required=True,
+        metavar="HOST:PORT", help="serve-mode broker address",
+    )
+    p.add_argument("--size", choices=SIZES, default="small")
+    p.add_argument(
+        "--workloads", nargs="+", choices=WORKLOAD_NAMES, default=None
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECS",
+        help="fail if the submitted grid is not fully streamed back "
+             "within SECS (default: wait)",
     )
     p = sub.add_parser(
         "cache", help="inspect or prune the shared result cache"
@@ -418,10 +542,25 @@ def _announce_broker(address: str) -> None:
     )
 
 
+def _warn_broker(message: str) -> None:
+    print(f"[remote] warning: {message}", file=sys.stderr, flush=True)
+
+
 def _backend_from_args(args):
     """Explicit --backend choice -> ExecutionBackend, or None (auto:
     the Runner derives one from jobs/cooperative)."""
     choice = getattr(args, "backend", "auto")
+    attach = getattr(args, "attach", None)
+    if attach is not None:
+        # --attach implies the remote backend in submission mode
+        return RemoteBackend(
+            attach=attach,
+            announce=lambda address: print(
+                f"[remote] submitting misses to the serve broker at "
+                f"{address}",
+                flush=True,
+            ),
+        )
     if choice == "auto":
         return None
     jobs = getattr(args, "jobs", 1)
@@ -441,7 +580,11 @@ def _backend_from_args(args):
         lease_ttl=getattr(args, "lease_ttl", DEFAULT_LEASE_TTL),
         ship_traces=getattr(args, "ship_traces", False),
         codec=getattr(args, "codec", "none"),
+        wait_workers_timeout=getattr(
+            args, "wait_workers_timeout", None
+        ),
         announce=_announce_broker,
+        warn=_warn_broker,
     )
 
 
@@ -500,6 +643,38 @@ def _run_all(args) -> int:
         print(
             "run-all: --ship-traces requires --backend remote "
             "(traces ship over the broker's wire protocol)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.attach is not None and args.backend not in (
+        "auto", "remote"
+    ):
+        print(
+            f"run-all: --attach conflicts with "
+            f"--backend {args.backend}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.attach is not None and (
+        args.cooperative or args.ship_traces
+    ):
+        print(
+            "run-all: --attach submits to a serve broker, which owns "
+            "its own fleet — drop --cooperative/--ship-traces",
+            file=sys.stderr,
+        )
+        return 2
+    if args.attach is not None and (
+        args.remote_workers is not None
+        or args.wait_workers_timeout is not None
+        or args.listen != ("127.0.0.1", 0)
+        or args.lease_ttl != DEFAULT_LEASE_TTL
+    ):
+        print(
+            "run-all: --attach uses an existing serve broker — the "
+            "broker flags (--remote-workers/--listen/--lease-ttl/"
+            "--wait-workers-timeout) have no effect there; configure "
+            "the `ltp-repro serve` side instead",
             file=sys.stderr,
         )
         return 2
@@ -565,6 +740,7 @@ def _print_cache_stats(cache, store, traces, claim_ttl) -> None:
     print(
         f"  results  {stats.entries} entries, "
         f"{_fmt_bytes(stats.total_bytes)}{ages}"
+        f"{_codec_suffix(cache.entry_paths())}"
     )
     print(
         f"  claims   {len(live)} live, {len(stale)} stale "
@@ -598,11 +774,65 @@ def _print_cache_stats(cache, store, traces, claim_ttl) -> None:
             f"({info.rate_per_min():.1f}/min)"
             for info in counters
         )
-        print(f"  done     {done}")
+        # fleet-wide rate over recently-active holders only, so
+        # retired workers stop contributing once they go quiet
+        rate = fleet_throughput(cache.root)
+        print(f"  done     {done} — fleet {rate:.1f}/min")
     print(
         f"  traces   {traces.entries()} entries, "
         f"{_fmt_bytes(traces.total_bytes())}"
+        f"{_codec_suffix(traces.entry_paths())}"
     )
+    _print_fleet_status(cache.root)
+
+
+def _codec_suffix(paths) -> str:
+    """Per-codec entry breakdown, e.g. `` [none: 5 (1.2 KiB), zlib:
+    3 (0.4 KiB)]`` — empty for an empty store."""
+    census = codec_census(paths)
+    if not census:
+        return ""
+    parts = ", ".join(
+        f"{name}: {count} ({_fmt_bytes(size)})"
+        for name, (count, size) in sorted(census.items())
+    )
+    return f" [{parts}]"
+
+
+def _print_fleet_status(cache_root) -> None:
+    """The serve-mode autoscaler's view: desired vs live workers and
+    recent scaling events, read from the controller's fleet.json
+    mirror next to the claim files."""
+    path = Path(cache_root) / "claims" / FLEET_STATUS_NAME
+    try:
+        data = json.loads(path.read_text())
+        live = int(data["live"])
+        desired = int(data["desired"])
+        age = max(0.0, time.time() - float(data.get("updated", 0.0)))
+        events = data.get("events") or []
+        if not isinstance(events, list):
+            events = []
+    except (OSError, ValueError, KeyError, TypeError):
+        # the status file is advisory; anything unreadable — torn,
+        # foreign, or oddly typed — must not break `cache stats`
+        return
+    flags = " HALTED" if data.get("halted") else ""
+    stale = " (stale)" if age > 60 else ""
+    print(
+        f"  serve    {live} live / {desired} desired workers "
+        f"(policy {data.get('policy', '?')}, "
+        f"queue {data.get('queue_depth', '?')}, "
+        f"updated {_fmt_age(age)} ago){flags}{stale}"
+    )
+    for event in events[-3:]:
+        try:
+            print(
+                f"             {event['action']:<4} "
+                f"{event['live']} -> {event['desired']} "
+                f"({event['reason']})"
+            )
+        except (KeyError, TypeError):
+            continue
 
 
 def _holder(host: str, pid: int) -> str:
@@ -683,6 +913,140 @@ def _cache_command(args) -> int:
     return 0
 
 
+def _serve_command(args) -> int:
+    if args.no_cache or not args.cache_dir:
+        print(
+            "serve: a result cache is required (--cache-dir without "
+            "--no-cache) — submitted grids publish into it",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs != 1:
+        print(
+            "serve: --jobs has no effect here — the fleet size is "
+            "governed by --min-workers/--max-workers and the scaling "
+            "policy",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        policy = make_policy(
+            args.policy,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            cooldown=args.cooldown,
+            specs_per_worker=args.specs_per_worker,
+            drain_target=args.drain_target,
+        )
+    except Exception as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir, codec=args.codec)
+    trace_dir = args.trace_cache or str(Path(args.cache_dir) / "traces")
+    service = FleetService(
+        cache=cache,
+        listen=args.listen,
+        trace_cache=TraceCache(trace_dir, codec=args.codec),
+        policy=policy,
+        lease_ttl=args.lease_ttl,
+        batch=max(1, args.batch),
+        codec=args.codec,
+        ship_traces=args.ship_traces,
+        scale_interval=args.scale_interval,
+        announce=lambda address: print(
+            f"[serve] broker listening on {address} — submit grids "
+            f"with: ltp-repro submit <experiment> --connect {address}",
+            flush=True,
+        ),
+    )
+    service.start()
+    print(
+        f"[serve] policy={policy.name} workers "
+        f"{policy.min_workers}..{policy.max_workers}, cooldown "
+        f"{policy.cooldown:g}s, cache={cache.root}",
+        flush=True,
+    )
+    try:
+        done = service.serve(max_grids=args.grids)
+    except KeyboardInterrupt:
+        done = service.broker.stats.grids_done
+        print("\n[serve] interrupted — draining fleet", flush=True)
+    finally:
+        service.stop()
+    stats = service.broker.stats
+    controller = service.controller
+    print(
+        f"[serve] {done} grid(s) served this session "
+        f"({stats.results} results, {stats.duplicates} duplicates, "
+        f"{len(stats.workers)} worker(s) seen); "
+        f"{controller.supervisor.spawned} spawned, "
+        f"{controller.supervisor.retired} retired, "
+        f"{len(controller.events)} scaling events"
+    )
+    return 0
+
+
+def _submit_command(args) -> int:
+    modules = (
+        dict(EXPERIMENTS) if args.experiment == "all"
+        else {args.experiment: EXPERIMENTS[args.experiment]}
+    )
+    specs = []
+    for module in modules.values():
+        specs.extend(
+            module.jobs(size=args.size, workloads=args.workloads)
+        )
+    host, port = args.connect
+    print(
+        f"[submit] {len(specs)} jobs "
+        f"({len(dict.fromkeys(specs))} unique) -> {host}:{port}"
+    )
+    start = time.time()
+    try:
+        client = GridClient((host, port))
+        try:
+            reply = client.submit(specs)
+            print(
+                f"[submit] grid {reply['grid']}: {client.specs} specs "
+                f"enqueued, {client.cached} already cached broker-side"
+            )
+            collected = {}
+            for spec, value in client.stream(timeout=args.timeout):
+                collected[spec] = value
+                print(
+                    f"[{len(collected):>4}/{client.specs}] "
+                    f"{spec.label()}",
+                    flush=True,
+                )
+        finally:
+            client.close()
+    except (OSError, ProtocolError) as exc:
+        print(
+            f"submit: lost serve broker at {host}:{port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    except RemoteExecutionError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - start
+    # render locally from the streamed reports: a memo-seeded runner
+    # serves every spec without touching this host's caches
+    runner = Runner()
+    runner._memo.update(collected)
+    for module in modules.values():
+        result = module.run(
+            size=args.size, workloads=args.workloads, runner=runner
+        )
+        print(result.render())
+        print()
+    print(
+        f"[submit] grid streamed in {elapsed:.1f}s — "
+        f"{runner.stats.summary()}"
+    )
+    return 0
+
+
 def _worker_command(args) -> int:
     host, port = args.connect
     print(f"[worker] connecting to broker at {host}:{port}")
@@ -723,6 +1087,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_all(args)
     if args.command == "worker":
         return _worker_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "submit":
+        return _submit_command(args)
     if args.command == "cache":
         return _cache_command(args)
     if args.command == "report":

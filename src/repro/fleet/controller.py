@@ -1,0 +1,237 @@
+"""The control loop: sample signals, ask the policy, move the fleet.
+
+A :class:`FleetController` ties one :class:`~repro.fleet.supervisor.
+WorkerSupervisor` to one :class:`~repro.fleet.policy.ScalingPolicy`.
+Each :meth:`tick`:
+
+1. reaps workers that exited on their own — unsolicited nonzero exits
+   count toward a crash circuit-breaker (``max_crashes`` consecutive
+   crashes latch the controller into a *halted* state that stops
+   respawning, so a worker that dies on startup cannot fork-bomb the
+   host; a clean exit or :meth:`reset_crashes` re-arms it);
+2. samples the scaling signals (queue depth from the broker's lease
+   table, fleet jobs/min from the per-holder completion counters);
+3. asks the policy for the desired worker count and tells the
+   supervisor to scale — every change (and every unsolicited exit)
+   is appended to :attr:`events`, the scaling-event log;
+4. mirrors its state into ``claims/fleet.json`` next to the claim
+   files (atomic write), which is how ``repro cache stats --watch``
+   shows desired-vs-live workers and recent scaling events without
+   talking to the service.
+
+Drive ticks manually in tests (everything is injectable, nothing
+sleeps) or call :meth:`start` for the background thread the real
+service uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro._fsutil import atomic_write_bytes
+from repro.fleet.policy import FleetSignals, ScalingPolicy
+from repro.fleet.supervisor import WorkerSupervisor
+
+#: scaling-event log cap — a long-lived service keeps the recent tail
+EVENT_LOG_LIMIT = 256
+
+#: events mirrored into the fleet.json status file
+STATUS_EVENTS = 8
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One entry of the scaling-event log."""
+
+    when: float
+    #: "up" | "down" | "exit" | "halt"
+    action: str
+    live: int
+    desired: int
+    queue_depth: int
+    throughput: float
+    reason: str
+
+
+class FleetController:
+    """Periodically resize a supervisor's fleet per a scaling policy.
+
+    Args:
+        supervisor: the worker fleet to resize.
+        policy: the scaling policy consulted each tick.
+        signals: callable returning ``(queue_depth, throughput)``;
+            the live worker count is read from the supervisor.
+        interval: seconds between background-loop ticks.
+        clock: time source for event stamps.
+        max_crashes: consecutive unsolicited crash exits before the
+            controller halts scaling (the circuit breaker).
+        status_path: where to mirror ``fleet.json`` (``None`` = no
+            status file).
+    """
+
+    def __init__(
+        self,
+        supervisor: WorkerSupervisor,
+        policy: ScalingPolicy,
+        signals: Callable[[], Tuple[int, float]],
+        interval: float = 1.0,
+        clock: Callable[[], float] = time.time,
+        max_crashes: int = 5,
+        status_path=None,
+    ) -> None:
+        self.supervisor = supervisor
+        self.policy = policy
+        self.signals = signals
+        self.interval = interval
+        self.clock = clock
+        self.max_crashes = max_crashes
+        self.status_path = (
+            Path(status_path) if status_path is not None else None
+        )
+        self.events: Deque[ScalingEvent] = deque(maxlen=EVENT_LOG_LIMIT)
+        self.desired = 0
+        self.halted = False
+        self._crashes = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- the control step ----------------------------------------------
+
+    def tick(self) -> List[ScalingEvent]:
+        """One control step; returns the events it generated."""
+        now = self.clock()
+        new_events: List[ScalingEvent] = []
+        queue_depth, throughput = self.signals()
+        for worker_exit in self.supervisor.reap():
+            if worker_exit.crashed:
+                self._crashes += 1
+            elif not self.halted:
+                # a clean exit re-arms the breaker — unless it has
+                # already latched: a latched halt releases only via
+                # reset_crashes(), so the HALTED status and the
+                # stopped scaling can never disagree
+                self._crashes = 0
+            new_events.append(ScalingEvent(
+                when=now,
+                action="exit",
+                live=self.supervisor.live(),
+                desired=self.desired,
+                queue_depth=queue_depth,
+                throughput=throughput,
+                reason=(
+                    f"worker {worker_exit.name} exited "
+                    f"(code {worker_exit.exitcode})"
+                ),
+            ))
+        live = self.supervisor.live()
+        sig = FleetSignals(
+            queue_depth=queue_depth,
+            live_workers=live,
+            throughput=throughput,
+        )
+        if self._crashes >= self.max_crashes:
+            if not self.halted:
+                self.halted = True
+                new_events.append(ScalingEvent(
+                    when=now,
+                    action="halt",
+                    live=live,
+                    desired=self.desired,
+                    queue_depth=queue_depth,
+                    throughput=throughput,
+                    reason=(
+                        f"{self._crashes} consecutive worker crashes "
+                        "— autoscaling halted (reset_crashes() to "
+                        "re-arm; external workers still serve)"
+                    ),
+                ))
+        else:
+            desired = self.policy.decide(sig)
+            if desired != live:
+                self.supervisor.scale_to(desired)
+                new_events.append(ScalingEvent(
+                    when=now,
+                    action="up" if desired > live else "down",
+                    live=live,
+                    desired=desired,
+                    queue_depth=queue_depth,
+                    throughput=throughput,
+                    reason=(
+                        f"queue={queue_depth} "
+                        f"throughput={throughput:.1f}/min "
+                        f"policy={self.policy.name}"
+                    ),
+                ))
+            self.desired = desired
+        self.events.extend(new_events)
+        # the mirror shows the post-scale fleet, not the sample that
+        # triggered the change
+        self._write_status(
+            FleetSignals(
+                queue_depth=queue_depth,
+                live_workers=self.supervisor.live(),
+                throughput=throughput,
+            ),
+            now,
+        )
+        return new_events
+
+    def reset_crashes(self) -> None:
+        """Re-arm a halted controller (operator action)."""
+        self._crashes = 0
+        self.halted = False
+
+    # -- status mirror -------------------------------------------------
+
+    def _write_status(self, sig: FleetSignals, now: float) -> None:
+        if self.status_path is None:
+            return
+        payload = {
+            "updated": now,
+            "live": sig.live_workers,
+            "desired": self.desired,
+            "queue_depth": sig.queue_depth,
+            "throughput": sig.throughput,
+            "policy": self.policy.name,
+            "halted": self.halted,
+            "events": [
+                asdict(event)
+                for event in list(self.events)[-STATUS_EVENTS:]
+            ],
+        }
+        try:
+            atomic_write_bytes(
+                self.status_path, json.dumps(payload).encode("utf-8")
+            )
+        except OSError:
+            pass  # status is advisory; never fail the control loop
+
+    # -- background loop -----------------------------------------------
+
+    def start(self) -> None:
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-controller", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:
+                # a failed sample (e.g. broker mid-shutdown) must not
+                # kill the control loop; the next tick retries
+                continue

@@ -28,6 +28,7 @@ from repro.runner.claims import (
     FileLock,
     HeartbeatKeeper,
     completions,
+    fleet_throughput,
 )
 from repro.runner.runner import Runner, RunnerStats, execute_spec
 from repro.runner.backends import (
@@ -40,6 +41,7 @@ from repro.runner.backends import (
 from repro.runner.remote import (
     DEFAULT_LEASE_TTL,
     Broker,
+    GridClient,
     LeaseTable,
     ProtocolError,
     RemoteBackend,
@@ -47,7 +49,9 @@ from repro.runner.remote import (
     WorkerStats,
     encode_frame,
     read_frame,
+    read_frame_versioned,
     run_worker,
+    submit_grid,
 )
 from repro.runner.spec import (
     JobSpec,
@@ -72,6 +76,7 @@ __all__ = [
     "DEFAULT_TTL",
     "ExecutionBackend",
     "FileLock",
+    "GridClient",
     "HeartbeatKeeper",
     "InlineBackend",
     "JobSpec",
@@ -91,9 +96,12 @@ __all__ = [
     "default_backend",
     "encode_frame",
     "execute_spec",
+    "fleet_throughput",
     "oracle_job",
     "prune_files",
     "read_frame",
+    "read_frame_versioned",
     "run_worker",
+    "submit_grid",
     "timing_job",
 ]

@@ -12,7 +12,10 @@ left to exactly one :class:`ExecutionBackend`:
   processes sharing the cache directory through the claim protocol of
   :mod:`repro.runner.claims` (shared-filesystem fleets).
 * :class:`~repro.runner.remote.RemoteBackend` — serve the misses to
-  ``repro worker`` processes over TCP (no shared filesystem needed).
+  ``repro worker`` processes over TCP (no shared filesystem needed),
+  or — with ``attach=(host, port)`` — submit them to a live
+  ``repro serve`` broker (:mod:`repro.fleet`) and stream the results
+  back instead of running a broker at all.
 
 All four are asserted byte-identical and exactly-once by the backend
 conformance suite (``tests/integration/test_backend_conformance.py``),
@@ -23,7 +26,9 @@ for results observed from a cooperating process. Backends that publish
 results into the runner's cache themselves (cooperative and remote
 publish *before* releasing the claim/lease, so peers never observe
 "no claim, no result") set ``publishes = True`` and the Runner skips
-its own ``cache.put``.
+its own ``cache.put``. ``publishes`` may be overridden per instance:
+an *attached* RemoteBackend flips it off, because the serve broker
+publishes into its own cache, not this runner's.
 """
 
 from __future__ import annotations

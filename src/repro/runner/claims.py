@@ -420,6 +420,27 @@ def completions(root) -> List[CompletionInfo]:
     return out
 
 
+def fleet_throughput(
+    root, window: float = 120.0, now: Optional[float] = None
+) -> float:
+    """Fleet-wide completion rate in jobs/min: the summed per-holder
+    rates of every counter updated within the last ``window`` seconds.
+
+    Holders that have gone quiet (done, crashed, scaled away) age out
+    of the sum instead of inflating it forever. Rates are lifetime
+    averages per holder (see :meth:`CompletionInfo.rate_per_min`) —
+    fine for display (``cache stats``) but diluted on long-lived
+    fleets, which is why the serve-mode autoscaler samples *deltas*
+    instead (:class:`repro.fleet.service.ThroughputWindow`).
+    """
+    now = time.time() if now is None else now
+    return sum(
+        info.rate_per_min()
+        for info in completions(root)
+        if now - info.updated <= window
+    )
+
+
 class HeartbeatKeeper:
     """Daemon thread refreshing a store's outstanding claims.
 

@@ -15,11 +15,14 @@ backend uses::
                           ├ ResultCache publication (exactly-once)
                           └ advisory claim-file mirror (`cache stats --watch`)
 
-Wire protocol (``ltp-remote/1``): one frame per message — the 4-byte
-magic ``LTPW``, a version byte, a big-endian u32 payload length, then
-the pickled message dict — request/reply over a persistent connection.
-Messages: ``hello``/``welcome``, ``lease``/``specs``, ``result``,
-``error``, ``heartbeat``, ``bye``, and — when trace shipping is on —
+Wire protocol (``ltp-remote/2``; v1 frames are still accepted, and
+replies echo the requester's version): one frame per message — the
+4-byte magic ``LTPW``, a version byte, a big-endian u32 payload
+length, then the pickled message dict — request/reply over a
+persistent connection. Messages: ``hello``/``welcome``,
+``lease``/``specs``, ``result``, ``error``, ``heartbeat``, ``bye``,
+the serve-mode v2 frames ``submit``/``grid-poll``/``grid-results``/
+``grid-done``, and — when trace shipping is on —
 ``trace-fetch``/``trace``. Workers execute leased specs with
 :func:`repro.runner.runner.execute_spec` plus their local trace cache,
 and stream pickled reports back for the broker to publish. Report
@@ -69,6 +72,19 @@ When a cache is attached the broker also mirrors live leases into the
 cache's ``claims/`` directory (advisory, owner = the broker process),
 so ``repro cache stats --watch`` shows remote fleet status exactly
 like cooperative runs.
+
+**Serve mode** (``Broker(persistent=True)``, wrapped by
+:class:`repro.fleet.FleetService` / ``repro serve``) lifts the
+one-grid lifetime: the broker starts with an empty lease table, stays
+up across grids, and grows protocol v2's submission frames —
+``submit`` enqueues a whole JobSpec grid (a *namespace* over the
+fleet-wide deduplicated key space), ``grid-poll`` streams that grid's
+results back to its submitting client (``grid-results`` batches, then
+one ``grid-done`` carrying any permanent failures), and idle workers
+are told to keep waiting rather than exit, until
+:meth:`Broker.begin_shutdown`. :class:`GridClient` is the client side;
+``RemoteBackend(attach=...)`` adapts it to the backend contract so a
+whole ``run-all`` can ride an already-running service.
 """
 
 from __future__ import annotations
@@ -84,6 +100,7 @@ import struct
 import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -98,7 +115,13 @@ from repro.workloads import TraceCache, cached_build, get_workload, trace_key
 
 #: frame header: magic, protocol version, payload length
 MAGIC = b"LTPW"
-PROTOCOL_VERSION = 1
+#: version this side emits; v2 added the serve-mode frames (submit /
+#: grid-poll / grid-results / grid-done) and welcome trace offers
+PROTOCOL_VERSION = 2
+#: versions this side accepts — v1 peers' frames decode unchanged (the
+#: v2 additions are new message types and optional keys, not layout
+#: changes), so an old worker can still lease from a new broker
+ACCEPTED_VERSIONS = frozenset({1, PROTOCOL_VERSION})
 _HEADER = struct.Struct("!4sBI")
 
 #: refuse frames beyond this size — a garbage header read as a huge
@@ -127,6 +150,25 @@ DONE = "done"
 FAILED = "failed"
 
 
+#: slack added to a raw-report-bytes size estimate for one ready grid
+#: entry (covers the pickled spec and per-item frame overhead)
+_ENTRY_SLACK = 4096
+
+#: hard per-item ceiling for grid-results entries: a single report
+#: whose *raw* pickle is this big cannot ship in any frame (the
+#: worker-side budget checks the *packed* size, so a very
+#: compressible giant report can get this far) — it is delivered as
+#: that spec's failure instead of tearing down the client connection
+_GRID_ITEM_LIMIT = MAX_FRAME - 65536
+
+
+def _entry_size(spec: "JobSpec", value: Any) -> int:
+    """Wire-size estimate of one ``(spec, report)`` grid-results item."""
+    return len(
+        pickle.dumps((spec, value), protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
 class ProtocolError(RuntimeError):
     """Malformed or truncated wire traffic, or a vanished peer."""
 
@@ -139,10 +181,20 @@ class RemoteExecutionError(RuntimeError):
 # -- framing -----------------------------------------------------------
 
 
-def encode_frame(message: Any) -> bytes:
-    """One wire frame: header + pickled ``message``."""
+def encode_frame(
+    message: Any, version: int = PROTOCOL_VERSION
+) -> bytes:
+    """One wire frame: header + pickled ``message``.
+
+    ``version`` stamps the header. Peers that *initiate* (workers,
+    clients) send their own version; the broker *echoes the
+    requester's version on replies* — a v1 worker would reject a
+    v2-stamped welcome, and the pre-v2 frame types are
+    layout-identical, so answering in kind is what actually keeps old
+    workers leasing from new brokers.
+    """
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+    return _HEADER.pack(MAGIC, version, len(payload)) + payload
 
 
 def _read_exact(stream, n: int, at_frame_start: bool = False):
@@ -159,6 +211,35 @@ def _read_exact(stream, n: int, at_frame_start: bool = False):
     return chunks
 
 
+def read_frame_versioned(stream) -> Optional[Tuple[int, Any]]:
+    """Read one frame; returns ``(version, message)``, or ``None`` on
+    a clean EOF at a frame boundary.
+
+    The version is surfaced so a server can echo it on the reply (see
+    :func:`encode_frame`). Raises :class:`ProtocolError` on bad
+    magic, unaccepted versions, oversized or truncated frames, and
+    undecodable payloads.
+    """
+    header = _read_exact(stream, _HEADER.size, at_frame_start=True)
+    if header is None:
+        return None
+    magic, version, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version not in ACCEPTED_VERSIONS:
+        raise ProtocolError(
+            f"protocol version {version} (this side accepts "
+            f"{sorted(ACCEPTED_VERSIONS)})"
+        )
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds cap")
+    payload = _read_exact(stream, length)
+    try:
+        return version, pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
 def read_frame(stream) -> Any:
     """Read one frame from a binary stream.
 
@@ -167,24 +248,8 @@ def read_frame(stream) -> Any:
     Raises :class:`ProtocolError` on bad magic/version, oversized or
     truncated frames, and undecodable payloads.
     """
-    header = _read_exact(stream, _HEADER.size, at_frame_start=True)
-    if header is None:
-        return None
-    magic, version, length = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"protocol version {version} (this side speaks "
-            f"{PROTOCOL_VERSION})"
-        )
-    if length > MAX_FRAME:
-        raise ProtocolError(f"frame of {length} bytes exceeds cap")
-    payload = _read_exact(stream, length)
-    try:
-        return pickle.loads(payload)
-    except Exception as exc:
-        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    frame = read_frame_versioned(stream)
+    return None if frame is None else frame[1]
 
 
 def _request(stream, message: dict) -> dict:
@@ -238,16 +303,60 @@ class LeaseTable:
     def states(self) -> Dict[str, str]:
         return dict(self._state)
 
+    def extend(self, keys: Iterable[str]) -> int:
+        """Admit new pending keys mid-flight (how a serve-mode broker
+        enqueues a submitted grid into the live table). Keys already
+        tracked — whatever their state — are left untouched; returns
+        how many were new."""
+        added = 0
+        for key in keys:
+            if key not in self._state:
+                self._state[key] = PENDING
+                added += 1
+        return added
+
+    def _reset_to_pending(self, key: str, from_state: str) -> bool:
+        """Move a terminal key back to PENDING with a fresh attempt
+        budget; shared body of :meth:`rearm` and :meth:`requeue`."""
+        if self._state.get(key) != from_state:
+            return False
+        self._state[key] = PENDING
+        self._attempts.pop(key, None)
+        self.errors.pop(key, None)
+        return True
+
+    def rearm(self, key: str) -> bool:
+        """Reset a permanently FAILED key to PENDING with a fresh
+        attempt budget (a resubmitted grid on a long-lived broker is
+        an operator's retry — a FAILED key must not poison every
+        future grid that contains it). True iff the key was FAILED."""
+        return self._reset_to_pending(key, FAILED)
+
+    def requeue(self, key: str) -> bool:
+        """Reset a DONE key to PENDING (serve mode: its published
+        value was evicted from broker memory *and* is gone from the
+        cache — e.g. an operator pruned the live serve cache — so a
+        resubmitted grid can only be served by running the spec
+        again; reports are deterministic, so the re-execution is
+        byte-identical). The attempt budget resets like
+        :meth:`rearm`'s — the historical error count of a spec that
+        eventually *succeeded* must not be inherited by its re-run.
+        True iff the key was DONE."""
+        return self._reset_to_pending(key, DONE)
+
     def owner_of(self, key: str) -> Optional[str]:
         info = self._leases.get(key)
         return info.owner if info else None
 
     def expire(self) -> List[str]:
-        """Reclaim every lease past its expiry; returns the keys."""
+        """Reclaim every lease *strictly* past its expiry; returns the
+        keys. The boundary matches the claim files' staleness rule
+        (:meth:`repro.runner.claims.ClaimStore.is_live`): a lease at
+        exactly ``ttl`` seconds is still live."""
         now = self.clock()
         reclaimed = []
         for key, info in list(self._leases.items()):
-            if info.expires <= now:
+            if info.expires < now:
                 del self._leases[key]
                 if self._state[key] == LEASED:
                     self._state[key] = PENDING
@@ -365,21 +474,64 @@ class BrokerStats:
     trace_bytes: int = 0
     #: broker-side trace builds — at most one per unique fingerprint
     trace_builds: int = 0
+    #: grids admitted through ``submit`` frames (serve mode)
+    grids: int = 0
+    #: submitted grids fully streamed back to their client
+    grids_done: int = 0
     workers: Set[str] = field(default_factory=set)
 
 
+@dataclass
+class GridState:
+    """One submitted grid's delivery state inside a serve-mode broker.
+
+    The broker's lease table and result publication are grid-blind —
+    keys dedup fleet-wide — so a grid is purely a *subscription*: the
+    ordered key set the client asked for, the results ready to stream
+    on the next ``grid-poll``, the keys still outstanding, and the
+    permanent failures. All fields are mutated under the broker lock.
+
+    ``ready`` entries are ``(spec, report, wire-size estimate)`` —
+    the size is computed once at append time (cheaply, from bytes the
+    appender already holds) so batch budgeting in ``grid-poll`` never
+    pickles under the broker lock.
+    """
+
+    id: str
+    client: str
+    specs: int
+    ready: "deque" = field(default_factory=deque)
+    outstanding: Set[str] = field(default_factory=set)
+    #: spec label -> last error message, for permanently failed keys
+    failures: Dict[str, str] = field(default_factory=dict)
+    #: monotonic stamp of the client's last submit/poll — how the
+    #: broker reaps grids whose client vanished mid-stream
+    last_poll: float = 0.0
+    done_sent: bool = False
+
+
 class Broker:
-    """Serves one grid of specs to workers and collects their reports.
+    """Serves grids of specs to workers and collects their reports.
 
     Lifecycle: :meth:`bind` (allocate the listening socket — the
     address is then readable), :meth:`serve` (handle connections on
     daemon threads), :meth:`stream` (yield results as they arrive),
     :meth:`stop`. :meth:`start` is bind + serve.
+
+    With ``persistent=True`` the broker is a long-lived *service*
+    (``repro serve``): it may start with no specs at all, accepts
+    whole grids mid-flight through ``submit`` frames (each grid gets a
+    namespace id; keys dedup fleet-wide across grids, so a resubmitted
+    spec is served from the live results or the cache instead of
+    re-executed), streams each grid back to its submitting client via
+    ``grid-poll``/``grid-results``/``grid-done``, and never tells idle
+    workers the work is done — they wait for the next grid until
+    :meth:`begin_shutdown` flips the ``closing`` flag.
     """
 
     def __init__(
         self,
-        specs: Iterable[JobSpec],
+        specs: Iterable[JobSpec] = (),
         cache: Optional[ResultCache] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         listen: Tuple[str, int] = ("127.0.0.1", 0),
@@ -390,6 +542,9 @@ class Broker:
         ship_traces: bool = False,
         codec="none",
         trace_cache: Optional[TraceCache] = None,
+        persistent: bool = False,
+        results_budget: int = 256 * 1024 * 1024,
+        grid_idle_timeout: float = 3600.0,
     ) -> None:
         unique = list(dict.fromkeys(specs))
         self.cache = cache
@@ -398,6 +553,17 @@ class Broker:
         self.codec = get_codec(codec)
         self.ship_traces = ship_traces
         self.trace_cache = trace_cache
+        self.persistent = persistent
+        #: serve mode: cap on raw-report bytes held in self.results —
+        #: older entries are evicted once they are safely in the
+        #: cache, so a long-lived service cannot grow without bound
+        self.results_budget = results_budget
+        #: serve mode: drop a submitted grid's delivery state once its
+        #: client has neither polled nor resubmitted for this long
+        self.grid_idle_timeout = grid_idle_timeout
+        #: set by begin_shutdown(): serve-mode workers see done=True
+        #: on their next lease poll and exit cleanly
+        self.closing = False
         self._by_key: Dict[str, JobSpec] = {
             self._key(spec): spec for spec in unique
         }
@@ -412,17 +578,19 @@ class Broker:
         #: trace content address -> raw-pickle digest of the
         #: cache-file blob (avoids re-hashing per fetch)
         self._trace_digests: Dict[str, str] = {}
-        if ship_traces:
-            for key, spec in self._by_key.items():
-                tkey = trace_key(self._workload_of(spec))
-                self._trace_of[key] = tkey
-                self._trace_specs.setdefault(tkey, spec)
         #: one lock per trace key, so two workers racing on the same
         #: trace build it once while builds of *different* traces
         #: proceed concurrently
-        self._trace_locks: Dict[str, threading.Lock] = {
-            tkey: threading.Lock() for tkey in self._trace_specs
-        }
+        self._trace_locks: Dict[str, threading.Lock] = {}
+        for key, spec in self._by_key.items():
+            self._register_trace(key, spec)
+        #: submitted-grid namespaces and per-key grid subscriptions
+        self._grids: Dict[str, GridState] = {}
+        self._subscribers: Dict[str, List[GridState]] = {}
+        self._grid_seq = 0
+        #: raw-report bytes per results key, for budget eviction
+        self._result_sizes: Dict[str, int] = {}
+        self._result_bytes_held = 0
         #: per-worker completed-jobs counters (claims-dir throughput)
         self._counters: Dict[str, CompletionCounter] = {}
         self.table = LeaseTable(
@@ -461,6 +629,22 @@ class Broker:
             spec.workload, spec.size, **dict(spec.overrides)
         )
 
+    def _register_trace(self, key: str, spec: JobSpec) -> None:
+        """Track a spec's trace content address for trace shipping."""
+        if not self.ship_traces:
+            return
+        tkey = trace_key(self._workload_of(spec))
+        self._trace_of[key] = tkey
+        self._trace_specs.setdefault(tkey, spec)
+        self._trace_locks.setdefault(tkey, threading.Lock())
+
+    def queue_depth(self) -> int:
+        """Specs not yet resolved (pending + leased) — the scaling
+        signal a :class:`~repro.fleet.FleetController` samples."""
+        with self._lock:
+            counts = self.table.counts()
+        return counts[PENDING] + counts[LEASED]
+
     # -- lifecycle -----------------------------------------------------
 
     def bind(self) -> Tuple[str, int]:
@@ -474,11 +658,12 @@ class Broker:
             def handle(self):
                 while True:
                     try:
-                        message = read_frame(self.rfile)
+                        frame = read_frame_versioned(self.rfile)
                     except ProtocolError:
                         break
-                    if message is None:
+                    if frame is None:
                         break
+                    version, message = frame
                     try:
                         reply = broker._dispatch(message)
                     except Exception as exc:  # never kill the thread
@@ -487,7 +672,11 @@ class Broker:
                             "message": f"{type(exc).__name__}: {exc}",
                         }
                     try:
-                        self.wfile.write(encode_frame(reply))
+                        # reply in the peer's own wire version: a v1
+                        # worker must not be answered with v2 frames
+                        self.wfile.write(
+                            encode_frame(reply, version=version)
+                        )
                         self.wfile.flush()
                     except OSError:
                         break
@@ -509,6 +698,17 @@ class Broker:
         address = self.bind()
         self.serve()
         return address
+
+    def begin_shutdown(self) -> None:
+        """Serve mode: tell idle workers the service is over.
+
+        Workers polling an empty persistent table are normally told
+        ``done: False`` so they wait for the next submitted grid; once
+        ``closing`` is set they get ``done: True`` and exit cleanly —
+        call this before :meth:`stop` so a supervised fleet drains
+        instead of being terminated mid-poll.
+        """
+        self.closing = True
 
     def stop(self) -> None:
         if self._server is not None:
@@ -537,11 +737,12 @@ class Broker:
         if mtype == "hello":
             with self._lock:
                 self.stats.workers.add(worker)
+                offers = self._welcome_offers()
             if self._claims is not None:
                 # start the worker's throughput counter now, so its
                 # first completion already has a real denominator
                 self._counter_for(worker)
-            return {
+            welcome = {
                 "type": "welcome",
                 "protocol": PROTOCOL_VERSION,
                 "lease_ttl": self.lease_ttl,
@@ -550,8 +751,30 @@ class Broker:
                 "ship_traces": self.ship_traces,
                 "codec": self.codec.name,
             }
+            if offers:
+                # proactive offer push: a single-fingerprint grid's
+                # trace is fetchable before the first lease grant
+                welcome["trace_offers"] = offers
+            return welcome
         if mtype == "lease":
             return self._handle_lease(worker, int(message.get("max", 1)))
+        if mtype in ("submit", "grid-poll") and not self.persistent:
+            # a per-grid run-all broker serves exactly the grid its
+            # owner streams: foreign submissions would extend the
+            # lease table and fan stranger specs into that stream
+            return {
+                "type": "error",
+                "message": "this broker serves a fixed grid; "
+                           "submission needs a `repro serve` broker",
+            }
+        if mtype == "submit":
+            return self._handle_submit(
+                str(message.get("client", worker)), message.get("specs")
+            )
+        if mtype == "grid-poll":
+            return self._handle_grid_poll(
+                str(message.get("grid", "")), int(message.get("max", 32))
+            )
         if mtype == "trace-fetch":
             return self._handle_trace_fetch(str(message.get("key", "")))
         if mtype == "result":
@@ -583,12 +806,38 @@ class Broker:
             "type": "error", "message": f"unknown message type {mtype!r}"
         }
 
+    def _welcome_offers(self) -> List[str]:
+        """Trace offers to push proactively on ``welcome``: when every
+        *unresolved* spec shares one workload fingerprint, every cold
+        worker will need exactly that trace, so it is offered up front
+        instead of waiting for the first lease grant. Only live work
+        counts — a persistent broker that has drained grids of other
+        fingerprints must keep offering for the single-fingerprint
+        grid it is serving *now*. Caller holds the broker lock."""
+        if not self.ship_traces:
+            return []
+        states = self.table.states()
+        pending = {
+            tkey
+            for key, tkey in self._trace_of.items()
+            if states.get(key) in (PENDING, LEASED)
+        }
+        return sorted(pending) if len(pending) == 1 else []
+
     def _handle_lease(self, worker: str, max_n: int) -> dict:
         with self._lock:
             reclaimed = self.table.expire()
             keys = self.table.lease(worker, max(1, max_n))
             self.stats.leases += len(keys)
-            done = False if keys else self.table.done()
+            if keys:
+                done = False
+            elif self.persistent:
+                # a drained serve-mode table is idle, not finished:
+                # workers wait for the next submitted grid until the
+                # service begins shutting down
+                done = self.closing
+            else:
+                done = self.table.done()
         if self._claims is not None:
             # reclaimed-but-not-regranted keys go back to pending, so
             # their mirror claims must not linger as stale files
@@ -616,6 +865,244 @@ class Broker:
             "done": done,
             "wait": self.poll,
         }
+
+    def _handle_submit(self, client: str, specs) -> dict:
+        """Admit a whole grid into the live lease table (serve mode).
+
+        Each unique spec resolves against, in order: the in-memory
+        result map, the attached cache, and — failing both — the lease
+        table, which is extended with the new keys so the fleet starts
+        executing them on its next lease poll. The reply names the
+        grid (``grid-poll`` streams it back) and says how much was
+        already served from cache.
+        """
+        if not isinstance(specs, (list, tuple)) or not specs:
+            return {
+                "type": "error",
+                "message": "submit needs a non-empty spec list",
+            }
+        if not all(isinstance(spec, JobSpec) for spec in specs):
+            return {
+                "type": "error",
+                "message": "submit specs must be JobSpec instances",
+            }
+        self.reap_grids()  # new arrivals sweep vanished clients out
+        unique = list(dict.fromkeys(specs))
+        keyed = [(self._key(spec), spec) for spec in unique]
+        # probes and size estimates happen before the lock — file I/O
+        # and pickling must not stall the fleet's lease/result traffic
+        # — and cache probes run only for keys the live result map
+        # cannot already serve (a resubmitted grid must not re-read
+        # the whole cache)
+        with self._lock:
+            live = {key for key, _ in keyed if key in self.results}
+        sized: Dict[str, Tuple[Any, int]] = {}
+        for key, spec in keyed:
+            if key in live:
+                try:
+                    value = self.results[key]
+                except KeyError:
+                    # evicted since the snapshot: the cache probe
+                    # below serves it instead
+                    continue
+                size = self._result_sizes.get(key)
+                if size is None:  # no record (e.g. cache-less broker)
+                    size = _entry_size(spec, value)
+                sized[key] = (value, size + _ENTRY_SLACK)
+        if self.cache is not None:
+            for key, spec in keyed:
+                if key in sized:
+                    continue
+                # decode the entry by hand instead of cache.get(): the
+                # raw pickle length falls out for free, so the hit is
+                # never re-pickled just to size its wire entry
+                try:
+                    raw = unpack(self.cache.path(spec).read_bytes())
+                    value = pickle.loads(raw)
+                except Exception:
+                    continue  # absent or corrupt entry: a miss
+                sized[key] = (value, len(raw) + _ENTRY_SLACK)
+        with self._lock:
+            gid = f"g{self._grid_seq}"
+            self._grid_seq += 1
+            grid = GridState(
+                id=gid,
+                client=client,
+                specs=len(unique),
+                last_poll=time.monotonic(),
+            )
+            cached = 0
+            new_keys: List[str] = []
+            for key, spec in keyed:
+                if key in self.results:
+                    value = self.results[key]
+                    _, size = sized.get(
+                        key, (None, 0)
+                    )
+                    if not size:
+                        # landed mid-submit: estimate from the raw
+                        # size recorded at publication rather than
+                        # pickling under the lock (submit is only
+                        # reachable on persistent brokers, which
+                        # track sizes; the slack floor covers the
+                        # sliver where the record has not landed yet)
+                        size = (
+                            self._result_sizes.get(key, 0)
+                            + _ENTRY_SLACK
+                        )
+                    grid.ready.append((spec, value, size))
+                    cached += 1
+                elif key in sized:
+                    # live-map or cache hit from the pre-lock probe:
+                    # results are deterministic, so a probed value is
+                    # byte-identical to anything the fleet would
+                    # produce — serve it even for an in-flight key
+                    # (also covers a key evicted between the probe
+                    # and this lock section)
+                    value, size = sized[key]
+                    grid.ready.append((spec, value, size))
+                    cached += 1
+                else:
+                    grid.outstanding.add(key)
+                    self._subscribers.setdefault(key, []).append(grid)
+                    if key not in self._by_key:
+                        self._by_key[key] = spec
+                        self._register_trace(key, spec)
+                        new_keys.append(key)
+                    else:
+                        # a key that already failed permanently gets a
+                        # fresh attempt budget: resubmission is the
+                        # retry path, not a way to hang forever on a
+                        # key nobody will ever lease again
+                        self.table.rearm(key)
+                        # ...and a DONE key whose value is gone from
+                        # both memory (evicted) and the cache (pruned
+                        # by an operator) can only be served by
+                        # executing it again — deterministic, so the
+                        # re-run is byte-identical
+                        self.table.requeue(key)
+            self.table.extend(new_keys)
+            self.stats.specs += len(new_keys)
+            self.stats.grids += 1
+            self._grids[gid] = grid
+        return {
+            "type": "grid",
+            "grid": gid,
+            "specs": len(unique),
+            "cached": cached,
+            "new": len(new_keys),
+        }
+
+    def _handle_grid_poll(self, gid: str, max_n: int) -> dict:
+        """Stream a submitted grid's next results back to its client.
+
+        Batches are bounded by count *and* by size: ``max_n`` reports
+        that are individually fine on the worker->broker path could
+        together exceed the frame cap, and an oversized
+        ``grid-results`` frame would tear down the client connection
+        instead of streaming (the same failure mode the per-report
+        wire budget exists to prevent). A single report too big for
+        *any* frame is delivered as that spec's failure rather than
+        shipped.
+        """
+        with self._lock:
+            grid = self._grids.get(gid)
+            if grid is None:
+                return {
+                    "type": "error", "message": f"unknown grid {gid!r}"
+                }
+            grid.last_poll = time.monotonic()
+            batch: List[Tuple[JobSpec, Any]] = []
+            used = 0
+            while grid.ready and len(batch) < max(1, max_n):
+                spec, value, size = grid.ready[0]
+                if size > _GRID_ITEM_LIMIT:
+                    # no frame can carry it: deliver as a failure for
+                    # this spec rather than emitting a frame the
+                    # client must reject (mirrors the worker-side
+                    # oversized-report handling)
+                    grid.ready.popleft()
+                    grid.failures[spec.label()] = (
+                        f"report of ~{size} bytes exceeds the "
+                        f"{_GRID_ITEM_LIMIT}-byte grid-results "
+                        "frame limit"
+                    )
+                    continue
+                if batch and used + size > _REPORT_BUDGET:
+                    break
+                grid.ready.popleft()
+                batch.append((spec, value))
+                used += size
+            finished = not grid.outstanding and not grid.ready
+        if batch:
+            # packed through the broker codec like every other
+            # payload path — outside the lock, since compressing a
+            # multi-megabyte batch must not stall the fleet
+            return {
+                "type": "grid-results",
+                "grid": gid,
+                "results": pack(
+                    pickle.dumps(
+                        batch, protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                    self.codec,
+                ),
+                "count": len(batch),
+                "done": False,
+            }
+        with self._lock:
+            if finished:
+                if not grid.done_sent:
+                    grid.done_sent = True
+                    self.stats.grids_done += 1
+                # everything is delivered: the grid's state has no
+                # further purpose, so a long-lived service drops it
+                # (a duplicate poll gets unknown-grid, which clients
+                # never send — they stop at grid-done)
+                self._grids.pop(gid, None)
+                return {
+                    "type": "grid-done",
+                    "grid": gid,
+                    "failures": dict(grid.failures),
+                }
+            return {
+                "type": "grid-results",
+                "grid": gid,
+                "results": [],
+                "done": False,
+                "wait": self.poll,
+            }
+
+    def reap_grids(self, max_idle: Optional[float] = None) -> int:
+        """Drop submitted-grid state whose client has gone silent.
+
+        A client that dies mid-stream leaves its grid pinning ready
+        reports in broker memory forever; its *results* are safe in
+        the result cache (resubmission replays them as cache hits),
+        so after ``max_idle`` seconds without a poll the delivery
+        state — ready deque, subscriptions, failure map — is
+        reclaimed. Returns how many grids were dropped.
+        """
+        max_idle = (
+            self.grid_idle_timeout if max_idle is None else max_idle
+        )
+        now = time.monotonic()
+        with self._lock:
+            stale = {
+                gid
+                for gid, grid in self._grids.items()
+                if now - grid.last_poll > max_idle
+            }
+            for gid in stale:
+                del self._grids[gid]
+            if stale:
+                for key, subs in list(self._subscribers.items()):
+                    kept = [g for g in subs if g.id not in stale]
+                    if kept:
+                        self._subscribers[key] = kept
+                    else:
+                        del self._subscribers[key]
+        return len(stale)
 
     def _handle_trace_fetch(self, key: str) -> dict:
         """Serve one packed trace blob (a ``trace-offer`` fulfilment).
@@ -713,7 +1200,8 @@ class Broker:
         try:
             # unpack() is codec-transparent: raw pickled reports from
             # codec-less workers decode exactly like packed ones
-            value = pickle.loads(unpack(data))
+            raw = unpack(data)
+            value = pickle.loads(raw)
         except Exception as exc:
             return self._handle_error(
                 worker, key, f"undecodable report: {exc}"
@@ -737,8 +1225,54 @@ class Broker:
             self._claims.release(key)    # ...free the mirror claim
             self._bump_completed(worker)
         self.results[key] = value
-        self._queue.put((spec, value))
+        # size the grid-results entry from the raw pickle already in
+        # hand (plus spec slack) — never pickle under the lock
+        entry_size = len(raw) + _ENTRY_SLACK
+        with self._lock:
+            # fan the result out to every submitted grid waiting on
+            # this key (popped: later submits hit self.results)
+            for grid in self._subscribers.pop(key, ()):
+                grid.ready.append((spec, value, entry_size))
+                grid.outstanding.discard(key)
+            self._evict_results(key, len(raw))
+        if not self.persistent:
+            # the stream() queue has a consumer only on per-grid
+            # brokers; a serve broker delivers via grid-poll, and an
+            # undrained queue would pin every report forever
+            self._queue.put((spec, value))
         return {"type": "ok", "duplicate": False}
+
+    def _evict_results(self, key: str, raw_len: int) -> None:
+        """Bound the in-memory result map of a long-lived broker.
+
+        Only a *persistent* broker with a cache evicts: every entry is
+        already durable on disk there (publish happens before this
+        runs), so dropping the oldest in-memory copies loses nothing —
+        a later submit of an evicted key is served by the cache probe.
+        Per-grid brokers keep everything; their lifetime is one grid
+        and ``results_by_spec()`` promises the full map. Caller holds
+        the broker lock. Eviction is insertion-ordered and never
+        removes the entry just added, so a result always survives
+        long enough to race no one (submits check ``results`` under
+        this same lock).
+        """
+        if not (self.persistent and self.cache is not None):
+            return
+        # a re-executed key (requeued after eviction + cache prune,
+        # or a duplicate completion racing a submit) replaces its
+        # previous accounting instead of double-counting it
+        self._result_bytes_held -= self._result_sizes.pop(key, 0)
+        self._result_sizes[key] = raw_len
+        self._result_bytes_held += raw_len
+        while (
+            self._result_bytes_held > self.results_budget
+            and len(self._result_sizes) > 1
+        ):
+            oldest = next(iter(self._result_sizes))
+            if oldest == key:
+                break
+            self._result_bytes_held -= self._result_sizes.pop(oldest)
+            self.results.pop(oldest, None)
 
     def _counter_for(self, worker: str) -> CompletionCounter:
         with self._lock:
@@ -765,6 +1299,13 @@ class Broker:
             self.stats.errors += 1
             final = self.table.fail(key, worker, message)
             lease_gone = self.table.owner_of(key) is None
+            if final:
+                # a permanently failed key will never produce a
+                # result: deliver the failure to its waiting grids
+                label = self._by_key[key].label()
+                for grid in self._subscribers.pop(key, ()):
+                    grid.outstanding.discard(key)
+                    grid.failures[label] = message
         # drop the mirror claim whenever the lease is gone — both on a
         # permanent failure and on a retry (the next lease re-acquires
         # it); a stale error that left a peer's live lease intact
@@ -779,6 +1320,7 @@ class Broker:
         self,
         timeout: Optional[float] = None,
         workers: Optional[List] = None,
+        first_worker_timeout: Optional[float] = None,
     ) -> Iterable[Tuple[JobSpec, Any]]:
         """Yield ``(spec, report)`` as results arrive until the grid
         is fully resolved.
@@ -786,9 +1328,13 @@ class Broker:
         Raises :class:`RemoteExecutionError` when specs failed
         permanently, when every process in ``workers`` (the locally
         spawned fleet, if any) has exited AND no worker — external
-        fleets included — has spoken for half a lease ttl, or when
+        fleets included — has spoken for half a lease ttl, when
+        ``first_worker_timeout`` seconds pass without any worker ever
+        saying hello (a broker started with ``--remote-workers 0`` and
+        no external fleet would otherwise wait forever), or when
         ``timeout`` seconds pass.
         """
+        start = time.monotonic()
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
@@ -846,6 +1392,21 @@ class Broker:
                     "all local workers exited and the fleet has "
                     f"gone silent with work remaining "
                     f"({self._counts_text()})"
+                )
+            if (
+                first_worker_timeout is not None
+                and not self.stats.workers
+                and time.monotonic() - start > first_worker_timeout
+            ):
+                where = (
+                    f"{self.address[0]}:{self.address[1]}"
+                    if self.address else "the broker"
+                )
+                raise RemoteExecutionError(
+                    f"no workers connected within "
+                    f"{first_worker_timeout:g}s — attach one with: "
+                    f"ltp-repro worker --connect {where}, or pass "
+                    "--remote-workers N to fork local ones"
                 )
             if deadline is not None and time.monotonic() > deadline:
                 raise RemoteExecutionError(
@@ -962,6 +1523,41 @@ def _prefetch_traces(
             cache.put_blob(workload, bytes(reply["blob"]))
 
 
+def _prefetch_welcome_offers(
+    stream,
+    worker: str,
+    offers,
+    stats: WorkerStats,
+    cache: Optional[TraceCache],
+) -> None:
+    """Fetch trace blobs the broker pushed proactively on ``welcome``.
+
+    A welcome offer is a bare content address — no spec has been
+    leased yet — so the verified blob can only be *persisted* (into
+    the local trace cache, addressed by key); the per-process memo is
+    filled later by :func:`~repro.workloads.trace_cache.cached_build`
+    when the first lease executes. Without a local trace cache there
+    is nowhere to put the blob and the offer is left for the usual
+    lease-time prefetch.
+    """
+    if cache is None:
+        return
+    for tkey in sorted(offers):
+        if cache.path_for_key(tkey).exists():
+            continue
+        reply = _request(stream, {
+            "type": "trace-fetch", "worker": worker, "key": tkey,
+        })
+        programs = _verify_trace_blob(tkey, reply)
+        if programs is None:
+            # not counted as a fallback: the lease-time prefetch (or a
+            # local build) still gets its chance at this trace
+            continue
+        stats.traces_fetched += 1
+        stats.trace_bytes += len(reply["blob"])
+        cache.put_blob_by_key(tkey, bytes(reply["blob"]))
+
+
 def run_worker(
     address: Tuple[str, int],
     batch: int = 1,
@@ -1040,6 +1636,14 @@ def run_worker(
             # a newer broker advertising a codec we lack: send raw
             # (its unpack() passes legacy payloads through unchanged)
             wire_codec = get_codec("none")
+        welcome_offers: Set[str] = set()
+        if ship:
+            welcome_offers = set(welcome.get("trace_offers", ()))
+            if welcome_offers:
+                _prefetch_welcome_offers(
+                    stream, worker_name, welcome_offers,
+                    stats, local_traces,
+                )
         beat = threading.Thread(
             target=heartbeats, name="worker-heartbeat", daemon=True
         )
@@ -1058,7 +1662,9 @@ def run_worker(
                 held.update(key for key, _ in leases)
             stats.leased += len(leases)
             if ship:
-                offers = set(reply.get("trace_offers", ()))
+                offers = welcome_offers | set(
+                    reply.get("trace_offers", ())
+                )
                 if offers:
                     _prefetch_traces(
                         stream, worker_name, leases, offers,
@@ -1118,6 +1724,161 @@ def run_worker(
     return stats
 
 
+# -- grid submission client --------------------------------------------
+
+
+class GridClient:
+    """Submit ``JobSpec`` grids to a serve-mode broker, stream results.
+
+    The client side of the v2 ``submit`` protocol — the body of
+    ``repro submit`` and of ``RemoteBackend(attach=...)``::
+
+        client = GridClient(("serve-host", 7463))
+        client.submit(specs)          # enqueue into the live table
+        for spec, value in client.stream():
+            ...                       # cache hits arrive immediately,
+                                      # fresh executions as they finish
+        client.close()
+
+    One client, one connection, one grid at a time (submit again after
+    a grid finishes to reuse the connection). Results arrive in
+    completion order, not submission order. Raises
+    :class:`RemoteExecutionError` when the grid finishes with
+    permanently failed specs or ``timeout`` passes with no progress;
+    :class:`ProtocolError`/``OSError`` when the broker vanishes.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        name: Optional[str] = None,
+        request_timeout: Optional[float] = 300.0,
+    ) -> None:
+        self.name = (
+            name or f"client-{socket.gethostname()}-{os.getpid()}"
+        )
+        self._sock = socket.create_connection(
+            tuple(address), timeout=request_timeout
+        )
+        # every exchange is a bounded request/reply — a broker that
+        # stops answering (hung process, half-open TCP) surfaces as
+        # a socket timeout (an OSError) within request_timeout
+        # instead of blocking stream()'s deadline check forever. The
+        # default is generous because the submit reply alone decodes
+        # every broker-side cache hit before answering.
+        self._sock.settimeout(request_timeout)
+        self._stream = self._sock.makefile("rwb")
+        self.grid: Optional[str] = None
+        self.specs = 0
+        self.cached = 0
+
+    def submit(self, specs: Iterable[JobSpec]) -> dict:
+        """Enqueue a grid; returns the broker's ``grid`` reply (grid
+        id, unique spec count, broker-side cache hits)."""
+        reply = _request(self._stream, {
+            "type": "submit",
+            "client": self.name,
+            "specs": list(specs),
+        })
+        if reply.get("type") != "grid":
+            raise ProtocolError(
+                f"submit rejected: {reply.get('message', reply)!r}"
+            )
+        self.grid = reply["grid"]
+        self.specs = int(reply.get("specs", 0))
+        self.cached = int(reply.get("cached", 0))
+        return reply
+
+    def stream(
+        self, timeout: Optional[float] = None, batch: int = 32
+    ) -> Iterable[Tuple[JobSpec, Any]]:
+        """Yield ``(spec, report)`` until the submitted grid is done.
+
+        ``timeout`` bounds the wait for the *whole* grid; it resets on
+        nothing — a stalled serve fleet surfaces as the error, not a
+        hang.
+        """
+        if self.grid is None:
+            raise RemoteExecutionError("no grid submitted")
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            reply = _request(self._stream, {
+                "type": "grid-poll",
+                "worker": self.name,
+                "grid": self.grid,
+                "max": batch,
+            })
+            rtype = reply.get("type")
+            if rtype == "grid-done":
+                failures = reply.get("failures") or {}
+                if failures:
+                    raise RemoteExecutionError(
+                        f"{len(failures)} spec(s) failed permanently "
+                        "on the serve fleet:\n"
+                        + "\n".join(
+                            f"  {label}: "
+                            + (
+                                text.strip().splitlines()
+                                or ["<no message>"]
+                            )[-1]
+                            for label, text in failures.items()
+                        )
+                    )
+                return
+            if rtype != "grid-results":
+                raise ProtocolError(
+                    f"unexpected grid-poll reply "
+                    f"{reply.get('message', reply)!r}"
+                )
+            results = reply.get("results", ())
+            if isinstance(results, (bytes, bytearray)):
+                # non-empty batches travel packed through the
+                # broker's codec, like every other payload path
+                try:
+                    results = pickle.loads(unpack(bytes(results)))
+                except Exception as exc:
+                    raise ProtocolError(
+                        f"undecodable grid-results batch: {exc}"
+                    ) from exc
+            yield from results
+            # the deadline bounds the whole grid, so it applies even
+            # while results trickle in — not only to empty polls
+            if deadline is not None and time.monotonic() > deadline:
+                raise RemoteExecutionError(
+                    f"submitted grid unresolved after {timeout:g}s"
+                )
+            if not results:
+                time.sleep(float(reply.get("wait", 0.2)))
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "GridClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def submit_grid(
+    address: Tuple[str, int],
+    specs: Iterable[JobSpec],
+    timeout: Optional[float] = None,
+    name: Optional[str] = None,
+) -> Dict[JobSpec, Any]:
+    """One-shot convenience: submit ``specs`` to a serve-mode broker
+    and collect the whole grid as ``spec -> report``."""
+    with GridClient(address, name=name) as client:
+        client.submit(specs)
+        return dict(client.stream(timeout=timeout))
+
+
 # -- backend -----------------------------------------------------------
 
 
@@ -1141,6 +1902,16 @@ class RemoteBackend(ExecutionBackend):
             offer the packed blob to cold workers over the wire.
         codec: wire/trace compression codec name (``none``/``zlib``).
         announce: callback receiving the bound ``host:port`` string.
+        wait_workers_timeout: with ``workers == 0``, how long to wait
+            for the first external worker before failing the run
+            (``None`` = wait forever, after warning).
+        attach: ``(host, port)`` of a live ``repro serve`` broker —
+            instead of starting its own broker and fleet, the backend
+            submits the miss grid there and streams the results back
+            (``publishes`` then flips off, so this runner's own cache
+            still records them locally).
+        warn: callback for operator warnings (e.g. a 0-worker broker
+            waiting on external fleets).
     """
 
     listen: Tuple[str, int] = ("127.0.0.1", 0)
@@ -1153,7 +1924,12 @@ class RemoteBackend(ExecutionBackend):
     mirror_claims: bool = True
     ship_traces: bool = False
     codec: str = "none"
+    wait_workers_timeout: Optional[float] = None
+    attach: Optional[Tuple[str, int]] = None
     announce: Optional[Callable[[str], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    warn: Optional[Callable[[str], None]] = field(
         default=None, repr=False, compare=False
     )
     #: the last run's broker, for stats introspection
@@ -1164,7 +1940,16 @@ class RemoteBackend(ExecutionBackend):
     name = "remote"
     publishes = True
 
+    def __post_init__(self) -> None:
+        if self.attach is not None:
+            # the serve broker publishes into *its* cache, not this
+            # runner's — the Runner must cache.put() what streams back
+            self.publishes = False
+
     def run(self, specs, runner):
+        if self.attach is not None:
+            yield from self._run_attached(specs)
+            return
         broker = Broker(
             specs,
             cache=runner.cache,
@@ -1181,6 +1966,16 @@ class RemoteBackend(ExecutionBackend):
         host, port = broker.bind()
         if self.announce is not None:
             self.announce(f"{host}:{port}")
+        if self.workers == 0 and self.warn is not None:
+            bound = (
+                "forever" if self.wait_workers_timeout is None
+                else f"up to {self.wait_workers_timeout:g}s"
+            )
+            self.warn(
+                "no local workers forked — waiting "
+                f"{bound} for external `ltp-repro worker --connect "
+                f"{host}:{port}` fleets"
+            )
         procs: List[multiprocessing.Process] = []
         try:
             # fork local workers before the serving thread starts so
@@ -1202,7 +1997,11 @@ class RemoteBackend(ExecutionBackend):
                 procs.append(proc)
             broker.serve()
             for spec, value in broker.stream(
-                timeout=self.timeout, workers=procs or None
+                timeout=self.timeout,
+                workers=procs or None,
+                first_worker_timeout=(
+                    self.wait_workers_timeout if not procs else None
+                ),
             ):
                 yield spec, value, "run"
             for proc in procs:
@@ -1213,3 +2012,18 @@ class RemoteBackend(ExecutionBackend):
                     proc.terminate()
                     proc.join(timeout=5)
             broker.stop()
+
+    def _run_attached(self, specs):
+        """Resolve the misses through a live serve-mode broker."""
+        host, port = self.attach
+        if self.announce is not None:
+            self.announce(f"{host}:{port}")
+        client = GridClient(
+            (host, port), name=f"attach-{os.getpid()}"
+        )
+        try:
+            client.submit(specs)
+            for spec, value in client.stream(timeout=self.timeout):
+                yield spec, value, "run"
+        finally:
+            client.close()

@@ -1,0 +1,147 @@
+"""Property-based model check of the scaling-policy contract.
+
+Random sequences of observed queue depths, throughputs, and clock
+advances drive a policy through ``decide()`` with the fleet faithfully
+following every decision (``live`` = the previous answer — what a
+controller whose supervisor always succeeds would see). The contract:
+
+* the decision never leaves ``[min_workers, max_workers]``;
+* two fleet-size *changes* are never closer than ``cooldown`` seconds;
+* once the queue stays empty and the cooldown has passed, the fleet
+  converges to ``min_workers`` and stays there.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import QueueDepthPolicy, ThroughputPolicy, FleetSignals
+
+
+class SteppedClock:
+    def __init__(self, now=1_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+#: one observation: (queue_depth, throughput jobs/min, dt seconds)
+observations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),
+        st.floats(
+            min_value=0.0, max_value=1e4,
+            allow_nan=False, allow_infinity=False,
+        ),
+        st.floats(
+            min_value=0.0, max_value=30.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+policy_configs = st.tuples(
+    st.sampled_from(["queue", "throughput"]),
+    st.integers(min_value=0, max_value=3),    # min_workers
+    st.integers(min_value=1, max_value=16),   # max extra over min
+    st.floats(min_value=0.0, max_value=20.0,  # cooldown
+              allow_nan=False, allow_infinity=False),
+    st.integers(min_value=1, max_value=8),    # specs_per_worker
+)
+
+
+def _build(config, clock):
+    kind, min_w, extra, cooldown, chunk = config
+    bounds = dict(
+        min_workers=min_w,
+        max_workers=max(1, min_w) + extra,
+        cooldown=cooldown,
+        clock=clock,
+    )
+    if kind == "queue":
+        return QueueDepthPolicy(specs_per_worker=chunk, **bounds)
+    return ThroughputPolicy(
+        drain_target=30.0 * chunk, assumed_rate=6.0, **bounds
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=policy_configs, steps=observations)
+def test_policy_contract(config, steps):
+    clock = SteppedClock()
+    policy = _build(config, clock)
+    live = policy.min_workers
+    last_change_at = None
+    for queue_depth, throughput, dt in steps:
+        clock.now += dt
+        decided = policy.decide(FleetSignals(
+            queue_depth=queue_depth,
+            live_workers=live,
+            throughput=throughput,
+        ))
+        # bounds hold on every single decision
+        assert policy.min_workers <= decided <= policy.max_workers
+        if decided != live:
+            # changes respect the cooldown between one another
+            if last_change_at is not None:
+                assert (
+                    clock.now - last_change_at >= policy.cooldown
+                ), (
+                    f"change at {clock.now} only "
+                    f"{clock.now - last_change_at}s after the last "
+                    f"(cooldown {policy.cooldown})"
+                )
+            last_change_at = clock.now
+        live = decided
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=policy_configs, steps=observations)
+def test_policy_converges_to_min_on_empty_queue(config, steps):
+    """After any history, an empty queue drains the fleet to
+    min_workers within one post-cooldown decision, and it stays
+    there."""
+    clock = SteppedClock()
+    policy = _build(config, clock)
+    live = policy.min_workers
+    for queue_depth, throughput, dt in steps:
+        clock.now += dt
+        live = policy.decide(FleetSignals(
+            queue_depth=queue_depth,
+            live_workers=live,
+            throughput=throughput,
+        ))
+    # the queue empties for good; step past any cooldown remnant
+    clock.now += policy.cooldown + 1.0
+    live = policy.decide(FleetSignals(
+        queue_depth=0, live_workers=live, throughput=0.0
+    ))
+    assert live == policy.min_workers
+    for _ in range(3):
+        clock.now += 1.0
+        live = policy.decide(FleetSignals(
+            queue_depth=0, live_workers=live, throughput=0.0
+        ))
+        assert live == policy.min_workers
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    config=policy_configs,
+    depth=st.integers(min_value=1, max_value=10_000),
+)
+def test_policy_never_exceeds_max_on_any_backlog(config, depth):
+    clock = SteppedClock()
+    policy = _build(config, clock)
+    decided = policy.decide(FleetSignals(
+        queue_depth=depth, live_workers=0, throughput=0.0
+    ))
+    assert decided <= policy.max_workers
+    # and the raw heuristic is what the clamp protects against
+    assert policy.target(FleetSignals(
+        queue_depth=depth, live_workers=0, throughput=0.0
+    )) >= math.ceil(depth / max(depth, 1))  # sanity: >= 1 worker

@@ -155,7 +155,7 @@ class LeaseMachine(RuleBasedStateMachine):
             state, owner, expires, attempts = self.model[key]
             if state == PENDING:
                 out.append(key)
-            elif state == LEASED and expires <= self.now:
+            elif state == LEASED and expires < self.now:
                 out.append(key)
         return out
 
@@ -174,7 +174,7 @@ class LeaseMachine(RuleBasedStateMachine):
         # reclaimed-but-not-regranted keys fall back to pending
         for key in KEYS:
             state, _, expires, attempts = self.model[key]
-            if state == LEASED and expires <= self.now:
+            if state == LEASED and expires < self.now:
                 self.model[key] = (PENDING, None, 0.0, attempts)
         for key in granted:
             attempts = self.model[key][3]

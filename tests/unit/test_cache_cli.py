@@ -445,6 +445,9 @@ class TestStatsThroughput:
         out = capsys.readouterr().out
         assert "host-a/11: 4 done (4.0/min)" in out
         assert "worker-7: 6 done (6.0/min)" in out  # pid 0 elided
+        # fleet-wide windowed rate rides the same line (these fake
+        # counters are long idle by wall-clock, so it reads 0)
+        assert "— fleet 0.0/min" in out
 
     def test_stats_without_counters_has_no_done_line(
         self, tmp_path, capsys
@@ -492,3 +495,123 @@ class TestPruneCounters:
             "cache", "prune", "--cache-dir", str(tmp_path),
         ]) == 0
         assert len(completions(tmp_path)) == 1
+
+
+class TestCodecBreakdown:
+    """`cache stats` per-entry codec census (count + bytes/codec)."""
+
+    def test_codec_census_buckets_mixed_entries(self, tmp_path):
+        from repro.codecs import codec_census
+
+        raw = ResultCache(tmp_path, codec="none")
+        packed = ResultCache(tmp_path, codec="zlib")
+        raw.put(census_job("em3d", SIZE), {"x": 1})
+        packed.put(census_job("tomcatv", SIZE), {"y": 2})
+        census = codec_census(raw.entry_paths())
+        assert set(census) == {"none", "zlib"}
+        assert census["none"][0] == 1
+        assert census["zlib"][0] == 1
+        total = sum(size for _, size in census.values())
+        assert total == sum(
+            p.stat().st_size for p in raw.entry_paths()
+        )
+
+    def test_codec_census_flags_torn_headers(self, tmp_path):
+        from repro.codecs import BLOB_MAGIC, codec_census
+
+        path = tmp_path / "ab" / "torn.pkl"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(BLOB_MAGIC)  # magic with no codec name
+        census = codec_census([path])
+        assert census == {"corrupt": (1, len(BLOB_MAGIC))}
+
+    def test_codec_census_empty(self, tmp_path):
+        from repro.codecs import codec_census
+
+        assert codec_census(ResultCache(tmp_path).entry_paths()) == {}
+
+    def test_stats_cli_shows_codec_breakdown(self, tmp_path, capsys):
+        from repro.workloads import TraceCache, get_workload
+
+        cache = ResultCache(tmp_path, codec="zlib")
+        _populate(cache, names=("em3d",))
+        ResultCache(tmp_path, codec="none").put(
+            census_job("tomcatv", SIZE), {"z": 3}
+        )
+        traces = TraceCache(tmp_path / "traces", codec="zlib")
+        workload = get_workload("em3d", SIZE)
+        traces.put(workload, workload.build())
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        results_line = next(
+            line for line in out.splitlines() if "results" in line
+        )
+        assert "zlib: 1" in results_line
+        assert "none: 1" in results_line
+        traces_line = next(
+            line for line in out.splitlines() if "traces" in line
+        )
+        assert "zlib: 1" in traces_line
+
+    def test_stats_cli_shows_fleet_status_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        from repro.fleet import FLEET_STATUS_NAME
+
+        claims = tmp_path / "claims"
+        claims.mkdir(parents=True)
+        (claims / FLEET_STATUS_NAME).write_text(json_mod.dumps({
+            "updated": time.time(),
+            "live": 2,
+            "desired": 3,
+            "queue_depth": 9,
+            "throughput": 12.0,
+            "policy": "queue",
+            "halted": False,
+            "events": [{
+                "when": time.time(), "action": "up", "live": 0,
+                "desired": 2, "queue_depth": 9, "throughput": 0.0,
+                "reason": "queue=9",
+            }],
+        }))
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 live / 3 desired workers" in out
+        assert "up" in out
+
+    def test_stats_cli_ignores_corrupt_fleet_file(
+        self, tmp_path, capsys
+    ):
+        from repro.fleet import FLEET_STATUS_NAME
+
+        claims = tmp_path / "claims"
+        claims.mkdir(parents=True)
+        (claims / FLEET_STATUS_NAME).write_text("{not json")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "desired" not in capsys.readouterr().out
+
+    def test_stats_cli_ignores_oddly_typed_fleet_file(
+        self, tmp_path, capsys
+    ):
+        """Valid JSON with wrong-typed fields (torn write recovered
+        by hand, foreign writer) must degrade silently, not crash
+        the stats command."""
+        import json as json_mod
+
+        from repro.fleet import FLEET_STATUS_NAME
+
+        claims = tmp_path / "claims"
+        claims.mkdir(parents=True)
+        path = claims / FLEET_STATUS_NAME
+        path.write_text(json_mod.dumps({
+            "live": 1, "desired": 2, "updated": None,
+        }))
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "desired" not in capsys.readouterr().out
+        # events of the wrong shape are dropped, the summary survives
+        path.write_text(json_mod.dumps({
+            "live": 1, "desired": 2, "updated": time.time(),
+            "events": {"oops": 1},
+        }))
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 live / 2 desired" in capsys.readouterr().out
