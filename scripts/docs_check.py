@@ -1,0 +1,106 @@
+"""CI guard: the docs must not rot.
+
+Checks, for ``README.md`` and every ``docs/*.md``:
+
+1. every relative markdown link ``[text](target)`` resolves to a file
+   in the repo;
+2. every ``#anchor`` in those links matches a heading in the target
+   file (GitHub slugification: lowercase, punctuation stripped,
+   spaces to hyphens, ``-N`` suffixes for duplicates);
+3. every backticked repo path (``src/...``, ``tests/...``,
+   ``scripts/...``, ``benchmarks/...``, ``docs/...``,
+   ``.github/...``) names a file or directory that exists — so a
+   renamed module breaks the docs job, not a reader.
+
+Run as ``python scripts/docs_check.py [REPO_ROOT]``; exits non-zero
+listing every broken reference.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+#: backticked tokens that claim to be repo paths
+REPO_PATH = re.compile(
+    r"^(?:src|tests|scripts|benchmarks|docs|\.github)/[\w./-]+$"
+)
+FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor id for a heading text."""
+    text = re.sub(r"[^\w\s-]", "", heading.lower())
+    return text.replace(" ", "-")
+
+
+def anchors(markdown: str) -> set:
+    seen: dict = {}
+    ids = set()
+    for match in HEADING.finditer(FENCE.sub("", markdown)):
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        ids.add(slug if count == 0 else f"{slug}-{count}")
+    return ids
+
+
+def check_file(path: Path, root: Path) -> list:
+    errors = []
+    text = path.read_text()
+    prose = FENCE.sub("", text)
+
+    for match in LINK.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (
+            path.parent / file_part
+        ).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(root)}: broken link "
+                          f"-> {target}")
+            continue
+        if anchor:
+            if dest.suffix != ".md":
+                continue
+            if anchor not in anchors(dest.read_text()):
+                errors.append(
+                    f"{path.relative_to(root)}: missing anchor "
+                    f"#{anchor} in {dest.relative_to(root)}"
+                )
+
+    for match in CODE_SPAN.finditer(prose):
+        token = match.group(1)
+        if REPO_PATH.match(token) and not (root / token).exists():
+            errors.append(f"{path.relative_to(root)}: backticked "
+                          f"path does not exist -> {token}")
+    return errors
+
+
+def main(argv) -> int:
+    root = Path(argv[0]).resolve() if argv else (
+        Path(__file__).resolve().parent.parent
+    )
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    errors = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"missing documentation file: {path}")
+            continue
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"docs check FAILED ({len(errors)} problem(s)):")
+        for line in errors:
+            print(f"  {line}")
+        return 1
+    print(f"docs check OK: {len(files)} file(s), links, anchors, and "
+          f"source paths all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,7 +10,10 @@ End-to-end, through the real CLI entry points:
    cross-grid amortization serve mode exists for);
 4. assert every report the service published is byte-identical to the
    golden bytes, and that the autoscaler actually scaled (the
-   ``fleet.json`` status mirror records a scale-up event).
+   ``fleet.json`` status mirror records a scale-up event);
+5. run ``report --html`` against the smoke cache and assert the
+   rendered site covers the fleet's scale-up and the submitted
+   experiment (CI uploads the site directory as an artifact).
 
 Run as ``PYTHONPATH=src python scripts/serve_smoke_check.py [DIR]``;
 exits non-zero on any divergence.
@@ -144,13 +147,34 @@ def main(argv) -> int:
         assert ups[0]["live"] == 0, (
             f"first scale-up did not start from zero: {ups[0]}"
         )
+
+        # the reporting pipeline runs against the same cache: the
+        # smoke fleet's published results + scaling events must
+        # render as a self-contained static site (uploaded as a CI
+        # artifact by the serve-smoke job)
+        site_dir = work_dir / "site"
+        rc = cli_main([
+            "report", "--html", str(site_dir),
+            "--cache-dir", str(cache_dir),
+        ])
+        assert rc == 0, f"report --html exited {rc}"
+        index_html = (site_dir / "index.html").read_text()
+        assert "Fleet" in index_html, "fleet section missing"
+        assert ">up<" in index_html or ">up" in index_html, (
+            "scale-up event missing from the rendered timeline"
+        )
+        experiment_pages = list(site_dir.glob("experiment-*.html"))
+        assert experiment_pages, (
+            "no experiment page rendered from the smoke grid"
+        )
     finally:
         if context is not None:
             context.cleanup()
     print(
         "serve smoke OK: 2 submitted grids byte-identical to the "
         "inline backend, fleet scaled up from zero "
-        f"({len(ups)} up event(s))"
+        f"({len(ups)} up event(s)), report site rendered "
+        f"({1 + len(experiment_pages)} page(s))"
     )
     return 0
 

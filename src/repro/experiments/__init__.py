@@ -21,4 +21,71 @@ installed ``ltp-repro`` script) dispatches to them.
 ``stability``       extension: accuracy spread across workload seeds
 ``hybrid``          extension: LTP with DSI versioning fallback
 ==================  =======================================================
+
+:data:`EXPERIMENTS` is the canonical registry (CLI subcommand name ->
+module); the result store (:mod:`repro.store`) uses it to map cached
+spec digests back to the experiments whose grids requested them.
 """
+
+from repro.experiments import (
+    ablations,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    forwarding,
+    hybrid,
+    patterns,
+    protocol_variants,
+    si_delay,
+    stability,
+    table3,
+    table4,
+    traffic,
+)
+
+#: CLI subcommand name -> experiment module (each exposes jobs()/run())
+EXPERIMENTS = {
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "table3": table3,
+    "table4": table4,
+    "ablations": ablations,
+    "forwarding": forwarding,
+    "variants": protocol_variants,
+    "traffic": traffic,
+    "si-delay": si_delay,
+    "patterns": patterns,
+    "stability": stability,
+    "hybrid": hybrid,
+}
+
+
+def canonical_name(module) -> str:
+    """An experiment module's stable name (``figure9``, ``table3``,
+    ``protocol_variants``, ...) — the vocabulary the result store tags
+    rows with, independent of CLI spelling."""
+    return module.__name__.rsplit(".", 1)[-1]
+
+
+#: canonical name -> module, derived from :data:`EXPERIMENTS`
+CANONICAL_EXPERIMENTS = {
+    canonical_name(module): module for module in EXPERIMENTS.values()
+}
+
+
+def resolve_experiment(name: str):
+    """Accept either a CLI alias (``fig9``) or a canonical module name
+    (``figure9``); returns ``(canonical_name, module)`` or raises
+    ``KeyError`` listing the vocabulary."""
+    if name in CANONICAL_EXPERIMENTS:
+        return name, CANONICAL_EXPERIMENTS[name]
+    if name in EXPERIMENTS:
+        module = EXPERIMENTS[name]
+        return canonical_name(module), module
+    known = sorted(set(EXPERIMENTS) | set(CANONICAL_EXPERIMENTS))
+    raise KeyError(
+        f"unknown experiment {name!r}; choose from {', '.join(known)}"
+    )

@@ -50,23 +50,7 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.codecs import CODEC_NAMES, codec_census
-from repro.experiments import (
-    ablations,
-    figure6,
-    figure7,
-    figure8,
-    figure9,
-    forwarding,
-    hybrid,
-    patterns,
-    protocol_variants,
-    report,
-    si_delay,
-    stability,
-    table3,
-    table4,
-    traffic,
-)
+from repro.experiments import EXPERIMENTS, report
 from repro.fleet import (
     FLEET_STATUS_NAME,
     FleetService,
@@ -99,24 +83,6 @@ from repro.timing.config import SystemConfig
 from repro.trace.scheduler import interleave
 from repro.trace.stats import collect_stream_stats
 from repro.workloads import SIZES, WORKLOAD_NAMES, TraceCache, get_workload
-
-#: subcommand name -> experiment module (each exposes jobs() and run())
-EXPERIMENTS = {
-    "fig6": figure6,
-    "fig7": figure7,
-    "fig8": figure8,
-    "fig9": figure9,
-    "table3": table3,
-    "table4": table4,
-    "ablations": ablations,
-    "forwarding": forwarding,
-    "variants": protocol_variants,
-    "traffic": traffic,
-    "si-delay": si_delay,
-    "patterns": patterns,
-    "stability": stability,
-    "hybrid": hybrid,
-}
 
 #: default on-disk cache location for ``run-all``
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -470,8 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
         "prune": "apply retention limits and sweep stale claims",
         "migrate": "re-encode existing result/trace entries under a "
                    "codec (in place, atomic, readable throughout)",
+        "reindex": "rebuild the sqlite result index from the blobs "
+                   "on disk (backfills pre-index caches; re-tags "
+                   "experiment membership)",
     }
-    for cache_cmd in ("stats", "prune", "migrate"):
+    for cache_cmd in ("stats", "prune", "migrate", "reindex"):
         cp = cache_sub.add_parser(cache_cmd, help=cache_help[cache_cmd])
         cp.add_argument(
             "--cache-dir", metavar="PATH", default=DEFAULT_CACHE_DIR,
@@ -519,7 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "format)",
             )
     p = sub.add_parser(
-        "report", help="run the full evaluation, emit one markdown doc"
+        "report",
+        help="run the full evaluation and emit one markdown doc, or "
+             "(--html) build the static HTML site from the result "
+             "store without running anything",
     )
     p.add_argument("--size", choices=SIZES, default="small")
     p.add_argument(
@@ -527,7 +499,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the markdown to PATH instead of stdout")
+    p.add_argument(
+        "--html", metavar="DIR", default=None,
+        help="instead of the markdown evaluation, generate the "
+             "static HTML dashboard (experiment tables + figures, "
+             "fleet scaling timeline, bench trends) into DIR from "
+             "the --cache-dir result index — runs no simulations",
+    )
+    p.add_argument(
+        "--bench-dir", metavar="PATH",
+        default="benchmarks/results",
+        help="directory of BENCH_*.json records for the --html trend "
+             "charts (default: benchmarks/results)",
+    )
     _add_runner_args(p)
+    p = sub.add_parser(
+        "query",
+        help="filter the sqlite result index (no blob unpickling): "
+             "by experiment, identity columns, or metric predicates",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="PATH", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    p.add_argument(
+        "--experiment", metavar="NAME", default=None,
+        help="restrict to one experiment's grid (CLI alias like "
+             "'fig9' or canonical name like 'figure9')",
+    )
+    p.add_argument(
+        "--where", action="append", default=None, metavar="PRED",
+        help="predicate NAME OP VALUE over identity columns "
+             "(workload, policy, size, holder, ...) or metrics "
+             "(accuracy, execution_cycles, ...); e.g. "
+             "\"accuracy<0.9\" or \"policy=ltp\"; repeatable (AND)",
+    )
+    p.add_argument(
+        "--format", choices=("table", "csv", "json"),
+        default="table", help="output shape (default: table)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="return at most N rows",
+    )
     sub.add_parser("config", help="print the Table 1 system parameters")
     p = sub.add_parser("workloads", help="print Table 2 workload stats")
     p.add_argument("--size", choices=SIZES, default="small")
@@ -783,7 +797,36 @@ def _print_cache_stats(cache, store, traces, claim_ttl) -> None:
         f"{_fmt_bytes(traces.total_bytes())}"
         f"{_codec_suffix(traces.entry_paths())}"
     )
+    _print_index_status(cache, stats.entries)
     _print_fleet_status(cache.root)
+
+
+def _print_index_status(cache, entries: int) -> None:
+    """One line on the sqlite result index, with a `cache reindex`
+    hint whenever the index is missing or out of step with the blobs
+    — instead of silently reporting blob-only numbers."""
+    index = cache.index
+    if index is None:
+        return
+    try:
+        rows = index.count()
+    except Exception:
+        rows = None
+    if rows is None:
+        if entries:
+            print(
+                f"  index    missing ({entries} unindexed entries) — "
+                "run `ltp-repro cache reindex` to make them "
+                "queryable"
+            )
+        return
+    if rows != entries:
+        print(
+            f"  index    {rows} row(s) vs {entries} blob entries "
+            "(stale) — run `ltp-repro cache reindex` to reconcile"
+        )
+    else:
+        print(f"  index    {rows} row(s), in sync")
 
 
 def _codec_suffix(paths) -> str:
@@ -876,6 +919,20 @@ def _cache_command(args) -> int:
                 f"({_fmt_bytes(before)} -> {_fmt_bytes(after)})"
             )
         return 0
+    if args.cache_command == "reindex":
+        from repro.store import reindex
+
+        start = time.time()
+        indexed, skipped = reindex(cache)
+        tagged = len(cache.index.experiments())
+        print(
+            f"reindexed {indexed} entries in "
+            f"{time.time() - start:.1f}s "
+            f"({skipped} undecodable skipped); "
+            f"{tagged} experiment(s) tagged — query with "
+            "`ltp-repro query`"
+        )
+        return 0
     # prune: age sweep per store, then one *combined* byte budget over
     # results + traces (so --max-bytes bounds the directory as a
     # whole), then stale claims. Completed-jobs counters of holders
@@ -900,6 +957,12 @@ def _cache_command(args) -> int:
         max_bytes=args.max_bytes,
     )
     reaped = store.reap()
+    # drop index rows whose blobs the sweep removed, so query results
+    # never point at pruned entries
+    if cache.index is not None and cache.index.exists():
+        cache.index.delete_missing(
+            path.stem for path in cache.entry_paths()
+        )
     stats = cache.stats()
     print(
         f"pruned {removed_age + removed_budget} cached files "
@@ -910,6 +973,63 @@ def _cache_command(args) -> int:
         f"and {traces.entries()} traces "
         f"({_fmt_bytes(traces.total_bytes())}) remain"
     )
+    return 0
+
+
+def _query_command(args) -> int:
+    from repro.store import QueryError, ResultIndex, run_query
+    from repro.store.query import (
+        format_rows_csv,
+        format_rows_json,
+        format_rows_table,
+    )
+
+    index = ResultIndex(args.cache_dir)
+    if not index.exists():
+        print(
+            f"query: no result index at {index.path} — populate the "
+            "cache (any run publishes into it) or backfill with "
+            "`ltp-repro cache reindex`",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        rows = run_query(
+            index,
+            where=args.where,
+            experiment=args.experiment,
+            limit=args.limit,
+        )
+    except QueryError as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "csv":
+        sys.stdout.write(format_rows_csv(rows))
+    elif args.format == "json":
+        print(format_rows_json(rows))
+    else:
+        print(format_rows_table(rows))
+    return 0
+
+
+def _report_html_command(args) -> int:
+    from repro.store import generate_report
+
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    cache = ResultCache(cache_dir, codec=args.codec)
+    if not cache.index.exists() and cache.entries():
+        print(
+            "[report] no result index yet — building one with "
+            "`cache reindex` first",
+            flush=True,
+        )
+        from repro.store import reindex
+
+        reindex(cache)
+    index_path = generate_report(
+        cache, args.html, bench_dir=args.bench_dir
+    )
+    print(f"[wrote {index_path}]")
     return 0
 
 
@@ -1093,6 +1213,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _submit_command(args)
     if args.command == "cache":
         return _cache_command(args)
+    if args.command == "query":
+        return _query_command(args)
+    if args.command == "report" and args.html:
+        return _report_html_command(args)
     if args.command == "report":
         doc = report.run(
             size=args.size,

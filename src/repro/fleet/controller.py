@@ -17,7 +17,10 @@ Each :meth:`tick`:
 4. mirrors its state into ``claims/fleet.json`` next to the claim
    files (atomic write), which is how ``repro cache stats --watch``
    shows desired-vs-live workers and recent scaling events without
-   talking to the service.
+   talking to the service. ``fleet.json`` keeps only the recent tail
+   of events; when ``events_path`` is set, every event is *also*
+   appended to that JSONL file — the durable log ``repro report``
+   draws its scaling timeline from.
 
 Drive ticks manually in tests (everything is injectable, nothing
 sleeps) or call :meth:`start` for the background thread the real
@@ -73,6 +76,10 @@ class FleetController:
             controller halts scaling (the circuit breaker).
         status_path: where to mirror ``fleet.json`` (``None`` = no
             status file).
+        events_path: append-only JSONL file receiving every scaling
+            event (``None`` = no durable log). Unlike the capped
+            in-memory deque and the ``fleet.json`` tail, this log
+            keeps the service's whole history for ``repro report``.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class FleetController:
         clock: Callable[[], float] = time.time,
         max_crashes: int = 5,
         status_path=None,
+        events_path=None,
     ) -> None:
         self.supervisor = supervisor
         self.policy = policy
@@ -93,6 +101,9 @@ class FleetController:
         self.max_crashes = max_crashes
         self.status_path = (
             Path(status_path) if status_path is not None else None
+        )
+        self.events_path = (
+            Path(events_path) if events_path is not None else None
         )
         self.events: Deque[ScalingEvent] = deque(maxlen=EVENT_LOG_LIMIT)
         self.desired = 0
@@ -170,6 +181,7 @@ class FleetController:
                 ))
             self.desired = desired
         self.events.extend(new_events)
+        self._append_events(new_events)
         # the mirror shows the post-scale fleet, not the sample that
         # triggered the change
         self._write_status(
@@ -188,6 +200,19 @@ class FleetController:
         self.halted = False
 
     # -- status mirror -------------------------------------------------
+
+    def _append_events(self, new_events: List[ScalingEvent]) -> None:
+        if self.events_path is None or not new_events:
+            return
+        lines = "".join(
+            json.dumps(asdict(event)) + "\n" for event in new_events
+        )
+        try:
+            self.events_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.events_path, "a", encoding="utf-8") as log:
+                log.write(lines)
+        except OSError:
+            pass  # the log is advisory; never fail the control loop
 
     def _write_status(self, sig: FleetSignals, now: float) -> None:
         if self.status_path is None:

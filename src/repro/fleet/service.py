@@ -46,6 +46,9 @@ from repro.workloads import TraceCache
 #: filename of the controller's status mirror, inside the claims dir
 FLEET_STATUS_NAME = "fleet.json"
 
+#: filename of the durable scaling-event log, inside the claims dir
+FLEET_EVENTS_NAME = "fleet_events.jsonl"
+
 
 class ThroughputWindow:
     """Windowed fleet completion rate from cumulative done counts.
@@ -189,6 +192,9 @@ class FleetService:
             interval=self.scale_interval,
             status_path=(
                 self.cache.root / CLAIMS_DIRNAME / FLEET_STATUS_NAME
+            ),
+            events_path=(
+                self.cache.root / CLAIMS_DIRNAME / FLEET_EVENTS_NAME
             ),
         )
         self.controller.start()

@@ -210,10 +210,13 @@ class CooperativeBackend(ExecutionBackend):
                             claimed.append(spec)
                         else:
                             deferred.append(spec)
+                    holder = f"{store.host}-{store.pid}"
                     for spec, value in self._execute(
                         claimed, runner, pool
                     ):
-                        cache.put(spec, value)   # publish, then...
+                        # publish (indexed under this claim holder),
+                        # then...
+                        cache.put(spec, value, holder=holder)
                         store.release(keys[spec])  # ...free the claim
                         keeper.discard(keys[spec])
                         held.pop(keys[spec], None)

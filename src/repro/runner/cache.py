@@ -30,6 +30,12 @@ Entries are written through a pluggable codec (:mod:`repro.codecs`):
 Reads are codec-transparent — whatever codec wrote an entry
 (including the pre-codec format) any ``ResultCache`` decodes it, and
 :meth:`ResultCache.migrate` re-encodes a directory in place.
+
+Every :meth:`ResultCache.put` additionally upserts a row into the
+sqlite :class:`repro.store.index.ResultIndex` beside the blobs
+(``<root>/index.sqlite``) so the corpus is queryable without
+unpickling (``repro query``). The index write is advisory — it never
+fails the publish — and ``cache reindex`` rebuilds it from the blobs.
 """
 
 from __future__ import annotations
@@ -49,6 +55,13 @@ from repro.runner.spec import JobSpec
 
 #: bump to orphan every existing cache entry on a layout change
 CACHE_SCHEMA = 1
+
+
+def spec_digest(spec: JobSpec, salt: str) -> str:
+    """The content address of ``spec`` under ``salt`` — the vocabulary
+    shared between blob filenames and the sqlite index."""
+    payload = f"repro-cache/{CACHE_SCHEMA}/{salt}/{spec.canonical()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -108,17 +121,30 @@ class ResultCache:
     """Spec-hash -> pickled report store under one directory."""
 
     def __init__(
-        self, root, salt: Optional[str] = None, codec="none"
+        self, root, salt: Optional[str] = None, codec="none",
+        index: bool = True,
     ) -> None:
         self.root = Path(root)
         self.salt = __version__ if salt is None else salt
         self.codec = get_codec(codec)
+        self._index_enabled = index
+        self._index = None
+
+    @property
+    def index(self):
+        """The sqlite :class:`repro.store.index.ResultIndex` beside
+        the blobs, or ``None`` when indexing is disabled. Lazy so
+        importing the cache never drags sqlite in."""
+        if not self._index_enabled:
+            return None
+        if self._index is None:
+            from repro.store.index import ResultIndex
+
+            self._index = ResultIndex(self.root)
+        return self._index
 
     def key(self, spec: JobSpec) -> str:
-        payload = (
-            f"repro-cache/{CACHE_SCHEMA}/{self.salt}/{spec.canonical()}"
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return spec_digest(spec, self.salt)
 
     def path(self, spec: JobSpec) -> Path:
         key = self.key(spec)
@@ -137,9 +163,30 @@ class ResultCache:
             path.unlink(missing_ok=True)
             return False, None
 
-    def put(self, spec: JobSpec, value: Any) -> Path:
+    def put(
+        self, spec: JobSpec, value: Any, holder: Optional[str] = None
+    ) -> Path:
+        """Publish one result; ``holder`` labels who computed it in
+        the index (a worker name when the broker publishes, the local
+        claim holder cooperatively, None for a plain local run)."""
         raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        return atomic_write_bytes(self.path(spec), pack(raw, self.codec))
+        packed = pack(raw, self.codec)
+        path = atomic_write_bytes(self.path(spec), packed)
+        index = self.index
+        if index is not None:
+            try:
+                index.record(
+                    self.key(spec),
+                    value,
+                    spec=spec,
+                    salt=self.salt,
+                    codec=self.codec.name,
+                    size_bytes=len(packed),
+                    holder=holder,
+                )
+            except Exception:
+                pass  # advisory: cache reindex reconciles
+        return path
 
     def migrate(self, codec):
         """Re-encode every entry under ``codec`` in place; returns

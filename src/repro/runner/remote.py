@@ -1220,7 +1220,9 @@ class Broker:
         # guarantees publish-before-release for the mirror claim
         spec = self._by_key[key]
         if self.cache is not None:
-            self.cache.put(spec, value)  # publish, then...
+            # publish, then... (the worker name lands in the result
+            # index as the entry's holder for per-worker accounting)
+            self.cache.put(spec, value, holder=worker)
         if self._claims is not None:
             self._claims.release(key)    # ...free the mirror claim
             self._bump_completed(worker)

@@ -251,7 +251,9 @@ class Runner:
             results[spec] = self._memo[spec] = value
             if source == "run":
                 # self-publishing backends (cooperative, remote) write
-                # the cache entry before releasing their claim/lease
+                # the cache entry before releasing their claim/lease;
+                # either way every publish path lands in the sqlite
+                # result index beside the blobs (repro query/report)
                 if self.cache is not None and not self.backend.publishes:
                     self.cache.put(spec, value)
                 self.stats.executed += 1

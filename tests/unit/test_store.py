@@ -1,0 +1,345 @@
+"""Tests for the sqlite result store: index writes on every publish,
+the query predicate language, reindexing, and the `repro query` /
+`cache reindex` / `cache stats` hint CLI surfaces."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.experiments import figure9
+from repro.experiments.cli import main
+from repro.runner import ResultCache, execute_spec
+from repro.runner.cache import spec_digest
+from repro.runner.spec import PolicySpec, accuracy_job, census_job
+from repro.store import (
+    INDEX_DB_NAME,
+    QueryError,
+    ResultIndex,
+    parse_predicate,
+    reindex,
+    run_query,
+    scalar_metrics,
+)
+from repro.store.query import (
+    build_filter,
+    format_rows_csv,
+    format_rows_json,
+    format_rows_table,
+)
+
+SIZE = "tiny"
+
+
+def _ltp_spec(workload="em3d"):
+    return accuracy_job(workload, SIZE, PolicySpec(name="ltp"))
+
+
+class TestIndexOnPut:
+    def test_put_records_row_and_metrics(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _ltp_spec()
+        cache.put(spec, execute_spec(spec))
+        rows = cache.index.select("", ())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["digest"] == cache.key(spec)
+        assert row["workload"] == "em3d"
+        assert row["policy"] == "ltp"
+        assert row["kind"] == "accuracy"
+        assert row["salt"] == cache.salt
+        assert row["codec"] == "none"
+        assert row["size_bytes"] > 0
+        assert 0.0 <= row["metrics"]["accuracy"] <= 1.0
+
+    def test_put_is_idempotent_per_digest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _ltp_spec()
+        value = execute_spec(spec)
+        cache.put(spec, value)
+        first = cache.index.select("", ())[0]
+        cache.put(spec, value, holder="worker-1")
+        rows = cache.index.select("", ())
+        assert len(rows) == 1
+        assert rows[0]["holder"] == "worker-1"
+        assert rows[0]["created"] == first["created"]
+
+    def test_holder_recorded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _ltp_spec()
+        cache.put(spec, execute_spec(spec), holder="hostx-42")
+        assert cache.index.select("", ())[0]["holder"] == "hostx-42"
+
+    def test_index_disabled(self, tmp_path):
+        cache = ResultCache(tmp_path, index=False)
+        spec = _ltp_spec()
+        cache.put(spec, execute_spec(spec))
+        assert cache.index is None
+        assert not (tmp_path / INDEX_DB_NAME).exists()
+
+    def test_index_failure_never_fails_publish(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        # a directory where the db file should be makes every sqlite
+        # connect fail; the publish must still land
+        (tmp_path / INDEX_DB_NAME).mkdir(parents=True)
+        spec = _ltp_spec()
+        cache.put(spec, execute_spec(spec))
+        assert cache.get(spec)[0]
+
+    def test_count_without_db_is_none_and_creates_nothing(
+        self, tmp_path
+    ):
+        index = ResultIndex(tmp_path)
+        assert index.count() is None
+        assert not index.path.exists()
+
+    def test_census_metrics(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = census_job("em3d", SIZE)
+        value = execute_spec(spec)
+        cache.put(spec, value)
+        metrics = cache.index.select("", ())[0]["metrics"]
+        assert metrics["total_blocks"] > 0
+        assert any(k.startswith("fraction_") for k in metrics)
+
+    def test_scalar_metrics_unknown_type(self):
+        assert scalar_metrics(object()) == {}
+
+
+class TestPredicates:
+    def test_parse_numeric(self):
+        pred = parse_predicate("accuracy<0.9")
+        assert (pred.name, pred.op, pred.value) == (
+            "accuracy", "<", 0.9
+        )
+        assert pred.is_metric
+
+    def test_parse_column_equality(self):
+        pred = parse_predicate("policy = ltp")
+        assert (pred.name, pred.op, pred.value) == (
+            "policy", "==", "ltp"
+        )
+        assert not pred.is_metric
+
+    def test_parse_quoted_literal(self):
+        assert parse_predicate("workload='em3d'").value == "em3d"
+
+    def test_parse_malformed(self):
+        with pytest.raises(QueryError):
+            parse_predicate("accuracy ~ 0.9")
+        with pytest.raises(QueryError):
+            parse_predicate("0.9 < accuracy < 1.0; DROP TABLE x")
+
+    def test_build_filter_parameterizes_values(self):
+        sql, params = build_filter(
+            [parse_predicate("policy=ltp"),
+             parse_predicate("accuracy>=0.5")]
+        )
+        assert "ltp" not in sql and "0.5" not in sql
+        assert params == ("ltp", "accuracy", 0.5)
+
+
+class TestQuery:
+    def _seed(self, tmp_path, workloads=("em3d", "tomcatv")):
+        cache = ResultCache(tmp_path)
+        for spec in figure9.jobs(size=SIZE, workloads=workloads):
+            cache.put(spec, execute_spec(spec))
+        return cache
+
+    def test_experiment_filter_accepts_alias_and_canonical(
+        self, tmp_path
+    ):
+        cache = self._seed(tmp_path, workloads=("em3d",))
+        for name in ("fig9", "figure9"):
+            rows = run_query(cache.index, experiment=name)
+            assert len(rows) == 3  # base/dsi/ltp for one workload
+        with pytest.raises(QueryError):
+            run_query(cache.index, experiment="nope")
+
+    def test_metric_and_column_predicates_combine(self, tmp_path):
+        cache = self._seed(tmp_path, workloads=("em3d",))
+        rows = run_query(
+            cache.index,
+            where=["policy=ltp", "execution_cycles>0"],
+            experiment="figure9",
+        )
+        assert [r["policy"] for r in rows] == ["ltp"]
+
+    def test_query_answers_from_index_with_corrupt_blob(
+        self, tmp_path
+    ):
+        """The acceptance criterion: corrupt a blob payload and the
+        query still returns its row — nothing is unpickled."""
+        cache = self._seed(tmp_path, workloads=("em3d",))
+        specs = figure9.jobs(size=SIZE, workloads=("em3d",))
+        victim = cache.path(specs[0])
+        victim.write_bytes(b"\x00garbage, not a pickle\x00")
+        rows = run_query(cache.index, experiment="figure9")
+        assert len(rows) == 3
+        assert cache.key(specs[0]) in {r["digest"] for r in rows}
+        # and the blob really is unreadable
+        assert cache.get(specs[0]) == (False, None)
+
+    def test_output_formats(self, tmp_path):
+        cache = self._seed(tmp_path, workloads=("em3d",))
+        rows = run_query(cache.index, experiment="figure9")
+        table = format_rows_table(rows)
+        assert "em3d" in table and "ltp" in table
+        csv_text = format_rows_csv(rows)
+        assert csv_text.count("\n") == 4  # header + 3 rows
+        records = json.loads(format_rows_json(rows))
+        assert len(records) == 3
+        assert {r["policy"] for r in records} == {
+            "base", "dsi", "ltp"
+        }
+
+    def test_limit(self, tmp_path):
+        cache = self._seed(tmp_path, workloads=("em3d",))
+        assert len(run_query(cache.index, limit=2)) == 2
+
+
+class TestReindex:
+    def test_rebuild_from_blobs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = figure9.jobs(size=SIZE, workloads=("em3d",))
+        for spec in specs:
+            cache.put(spec, execute_spec(spec))
+        cache.index.path.unlink()
+        cache._index = None
+        indexed, skipped = reindex(cache)
+        assert (indexed, skipped) == (3, 0)
+        rows = run_query(cache.index, experiment="figure9")
+        assert {r["digest"] for r in rows} == {
+            cache.key(spec) for spec in specs
+        }
+        assert all(r["workload"] == "em3d" for r in rows)
+
+    def test_unknown_digest_gets_report_attrs(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="old-salt")
+        spec = _ltp_spec()
+        cache.put(spec, execute_spec(spec))
+        fresh = ResultCache(tmp_path)  # current salt
+        fresh.index.path.unlink()
+        fresh._index = None
+        indexed, skipped = reindex(fresh)
+        assert (indexed, skipped) == (1, 0)
+        row = fresh.index.select("", ())[0]
+        # spec identity is unrecoverable, report attrs fill in
+        assert row["workload"] == "em3d"
+        assert row["policy"] == "ltp"
+        assert row["kind"] is None
+
+    def test_corrupt_blob_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _ltp_spec()
+        cache.put(spec, execute_spec(spec))
+        cache.path(spec).write_bytes(b"not a pickle")
+        cache.index.path.unlink()
+        cache._index = None
+        assert reindex(cache) == (0, 1)
+
+    def test_delete_missing_after_prune(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [_ltp_spec(w) for w in ("em3d", "tomcatv")]
+        for spec in specs:
+            cache.put(spec, execute_spec(spec))
+        cache.path(specs[0]).unlink()
+        removed = cache.index.delete_missing(
+            path.stem for path in cache.entry_paths()
+        )
+        assert removed == 1
+        assert cache.index.digests() == {cache.key(specs[1])}
+
+
+class TestStoreCli:
+    def _seed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for spec in figure9.jobs(size=SIZE, workloads=("em3d",)):
+            cache.put(spec, execute_spec(spec))
+        return cache
+
+    def test_query_cli_table(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        rc = main([
+            "query", "--cache-dir", str(tmp_path),
+            "--experiment", "figure9",
+            "--where", "execution_cycles>0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "3 result(s)" in out and "em3d" in out
+
+    def test_query_cli_no_index(self, tmp_path, capsys):
+        rc = main(["query", "--cache-dir", str(tmp_path)])
+        assert rc == 1
+        assert "cache reindex" in capsys.readouterr().err
+
+    def test_query_cli_bad_predicate(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        rc = main([
+            "query", "--cache-dir", str(tmp_path),
+            "--where", "accuracy ~ 1",
+        ])
+        assert rc == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_reindex_cli(self, tmp_path, capsys):
+        cache = self._seed(tmp_path)
+        cache.index.path.unlink()
+        rc = main(["cache", "reindex", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "reindexed 3 entries" in capsys.readouterr().out
+        assert ResultIndex(tmp_path).count() == 3
+
+    def test_stats_hint_missing_index(self, tmp_path, capsys):
+        cache = self._seed(tmp_path)
+        cache.index.path.unlink()
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "index    missing" in out
+        assert "cache reindex" in out
+
+    def test_stats_hint_stale_index(self, tmp_path, capsys):
+        cache = self._seed(tmp_path)
+        spec = figure9.jobs(size=SIZE, workloads=("em3d",))[0]
+        cache.path(spec).unlink()  # blob gone, row remains
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(stale)" in out and "cache reindex" in out
+
+    def test_stats_in_sync(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert "in sync" in capsys.readouterr().out
+
+    def test_prune_syncs_index(self, tmp_path):
+        self._seed(tmp_path)
+        rc = main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-age", "0s",
+        ])
+        assert rc == 0
+        assert ResultIndex(tmp_path).count() == 0
+
+
+class TestSpecDigest:
+    def test_matches_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s1")
+        spec = _ltp_spec()
+        assert cache.key(spec) == spec_digest(spec, "s1")
+        assert spec_digest(spec, "s1") != spec_digest(spec, "s2")
+
+    def test_wal_mode(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _ltp_spec()
+        cache.put(spec, execute_spec(spec))
+        conn = sqlite3.connect(str(cache.index.path))
+        (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+        conn.close()
+        assert mode == "wal"
