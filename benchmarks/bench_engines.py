@@ -1,0 +1,87 @@
+"""Benchmark: optimized vs reference timing-engine core.
+
+Runs the Figure 9 timing grid (3 policies x 9 workloads) through both
+:class:`EngineCore` implementations on pre-built traces, so the
+measured ratio is pure engine throughput — the conformance suite
+already proves the cores byte-identical, this proves the fast one is
+actually fast. The BENCH record's ``stats_s`` times the fast core (the
+default engine, what every runner uses), with the reference time and
+the speedup in ``extra_info``.
+"""
+
+import time
+
+from benchmarks.conftest import save_rendered
+from repro.experiments import figure9
+from repro.protocol.states import ProtocolVariant
+from repro.timing import engine_class
+from repro.workloads import build_program_set
+
+SIZE = "small"
+
+
+def _timing_specs():
+    return [
+        spec for spec in figure9.jobs(size=SIZE)
+        if spec.kind == "timing"
+    ]
+
+
+def _build_engine(cls, spec):
+    return cls(
+        spec.policy.build,
+        config=spec.config,
+        variant=ProtocolVariant[spec.variant.upper()],
+        forwarding=spec.forwarding,
+        si_fire_delay=spec.si_fire_delay,
+    )
+
+
+def test_engine_cores(benchmark):
+    specs = _timing_specs()
+    programs = {}
+    for spec in specs:
+        key = (spec.workload, spec.size, spec.overrides)
+        if key not in programs:
+            programs[key] = build_program_set(
+                spec.workload, spec.size, **dict(spec.overrides)
+            )
+
+    def grid(core_name):
+        cls = engine_class(core_name)
+        for spec in specs:
+            _build_engine(cls, spec).run(
+                programs[(spec.workload, spec.size, spec.overrides)]
+            )
+
+    start = time.perf_counter()
+    grid("reference")
+    reference_s = time.perf_counter() - start
+
+    benchmark.pedantic(lambda: grid("fast"), rounds=1, iterations=1)
+    stats = getattr(benchmark.stats, "stats", benchmark.stats)
+    fast_s = stats.mean
+
+    speedup = reference_s / fast_s
+    benchmark.extra_info["specs"] = len(specs)
+    benchmark.extra_info["reference_s"] = round(reference_s, 3)
+    benchmark.extra_info["reference_specs_per_s"] = round(
+        len(specs) / reference_s, 3
+    )
+    benchmark.extra_info["fast_specs_per_s"] = round(
+        len(specs) / fast_s, 3
+    )
+    benchmark.extra_info["engine_speedup"] = round(speedup, 3)
+    save_rendered(
+        "engine_cores",
+        f"timing-engine cores on the figure-9 grid "
+        f"({len(specs)} specs, size={SIZE!r})\n"
+        f"  reference  {reference_s:7.2f}s "
+        f"({len(specs) / reference_s:5.2f} specs/s)\n"
+        f"  fast       {fast_s:7.2f}s "
+        f"({len(specs) / fast_s:5.2f} specs/s)\n"
+        f"  speedup    {speedup:6.2f}x",
+    )
+    # the point of shipping a second core; measured ~2.1x, gated
+    # loosely so shared-runner noise can't flake the job
+    assert speedup >= 1.6, f"fast core only {speedup:.2f}x"

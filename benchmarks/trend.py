@@ -10,9 +10,14 @@ Usage::
 CI downloads the previous successful run's timing artifact into
 ``--baseline`` and this run's into ``--current``. A benchmark regresses
 when ``current/baseline - 1 > threshold`` on the chosen ``stats_s``
-metric. Exit codes: 0 ok (including "no baseline yet" — the first run
-on a branch has nothing to compare against), 1 regression, 2 bad
-invocation.
+metric. Exit codes: 0 ok, 1 regression, 2 bad invocation.
+
+"No baseline yet" (first run on a branch, or a lost artifact) also
+exits 0 but is a *distinct* outcome, not a silent pass: the gate warns
+loudly and **seeds** the baseline directory with this run's records,
+so the log says whether benchmarks were actually compared
+(``[trend] ok``) or merely had nothing to compare against
+(``[trend] WARNING ... seeded``).
 """
 
 from __future__ import annotations
@@ -48,6 +53,22 @@ def load_records(directory: Path) -> dict:
             continue
         records[name] = record
     return records
+
+
+def seed_baseline(current_dir: Path, baseline_dir: Path) -> int:
+    """Copy every current BENCH_*.json into the (empty) baseline dir
+    so a follow-up compare has something to gate against; returns the
+    number of records seeded."""
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    seeded = 0
+    for path in sorted(current_dir.rglob("BENCH_*.json")):
+        try:
+            (baseline_dir / path.name).write_bytes(path.read_bytes())
+        except OSError as exc:
+            print(f"[trend] could not seed {path.name}: {exc}")
+            continue
+        seeded += 1
+    return seeded
 
 
 def compare(
@@ -93,9 +114,12 @@ def main(argv=None) -> int:
         return 2
     baseline = load_records(args.baseline)
     if not baseline:
+        seeded = seed_baseline(args.current, args.baseline)
         print(
-            "[trend] no baseline records — first run on this branch? "
-            "passing trivially"
+            f"[trend] WARNING: no baseline records under "
+            f"{args.baseline} — first run on this branch, or the "
+            f"baseline artifact was lost. Nothing was compared; "
+            f"seeded {seeded} current record(s) as the new baseline."
         )
         return 0
 
@@ -125,7 +149,11 @@ def main(argv=None) -> int:
                 f"({ratio - 1.0:+.1%} > +{args.threshold:.0%})"
             )
         return 1
-    print("[trend] ok — no regression beyond threshold")
+    compared = sum(1 for _, _, _, ratio in rows if ratio is not None)
+    print(
+        f"[trend] ok — {compared} benchmark(s) compared, none beyond "
+        "threshold"
+    )
     return 0
 
 

@@ -1,3 +1,3 @@
 """Package version (single source of truth for runtime introspection)."""
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

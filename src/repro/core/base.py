@@ -20,7 +20,7 @@ from repro.protocol.states import MissKind
 from repro.trace.events import SyncKind
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, frozen=True)
 class PolicyDecision:
     """Outcome of observing one access.
 
@@ -29,6 +29,12 @@ class PolicyDecision:
     """
 
     self_invalidate: bool = False
+
+
+#: Shared immutable decisions — ``on_access`` runs once per memory
+#: access, so hot policies return these instead of allocating.
+DECISION_KEEP = PolicyDecision()
+DECISION_FIRE = PolicyDecision(self_invalidate=True)
 
 
 @dataclass
@@ -107,7 +113,7 @@ class SelfInvalidationPolicy:
             version: directory write-version seen at fetch (DSI), None on
                 hits.
         """
-        return PolicyDecision()
+        return DECISION_KEEP
 
     def on_invalidation(self, block: int) -> None:
         """An external invalidation removed this node's copy: the trace

@@ -95,9 +95,18 @@ class CounterTable:
         self._counters: "OrderedDict[Hashable, int]" = OrderedDict()
         self._poisoned: set = set()
         self.evictions = 0
+        # hoisted config scalars + LRU switch: `confident` and `learn`
+        # run once per access, and recency order is observable only when
+        # a capacity bound can evict, so the unbounded (paper) setup
+        # skips the bookkeeping entirely
+        self._threshold = config.predict_threshold
+        self._initial = config.initial
+        self._max_value = config.max_value
+        self._bounded = max_entries is not None
 
     def _touch(self, key: Hashable) -> None:
-        self._counters.move_to_end(key)
+        if self._bounded:
+            self._counters.move_to_end(key)
 
     def _make_room(self) -> None:
         if self.max_entries is None:
@@ -121,25 +130,28 @@ class CounterTable:
         value = self._counters.get(key)
         if value is None:
             return False
-        self._touch(key)
-        return value >= self.config.predict_threshold
+        if self._bounded:
+            self._counters.move_to_end(key)
+        return value >= self._threshold
 
     def learn(self, key: Hashable) -> None:
         """Confirm ``key``: insert at the initial value or increment.
 
         Poisoned signatures stay capped below the fire threshold.
         """
-        value = self._counters.get(key)
+        counters = self._counters
+        value = counters.get(key)
         if value is None:
             self._make_room()
-            self._counters[key] = self.config.initial
+            counters[key] = self._initial
         else:
-            if value < self.config.max_value:
-                self._counters[key] = value + 1
-            self._touch(key)
+            if value < self._max_value:
+                counters[key] = value + 1
+            if self._bounded:
+                counters.move_to_end(key)
         if key in self._poisoned:
-            cap = max(0, self.config.predict_threshold - 1)
-            self._counters[key] = min(self._counters[key], cap)
+            cap = max(0, self._threshold - 1)
+            counters[key] = min(counters[key], cap)
 
     def strengthen(self, key: Hashable) -> None:
         """Positive feedback for a verified-correct prediction."""

@@ -26,6 +26,8 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from repro.core.base import (
+    DECISION_FIRE,
+    DECISION_KEEP,
     PolicyDecision,
     SelfInvalidationPolicy,
     StorageReport,
@@ -45,6 +47,9 @@ class _TwoLevelPredictor(SelfInvalidationPolicy):
     ) -> None:
         self.encoder = encoder or TruncatedAddEncoder()
         self.confidence = confidence or ConfidenceConfig()
+        # bound encoder hooks — on_access runs once per memory access
+        self._enc_init = self.encoder.init
+        self._enc_update = self.encoder.update
         #: block -> running signature of the in-flight trace
         self._current: Dict[int, int] = {}
         #: block -> fired signature awaiting directory verification
@@ -75,15 +80,15 @@ class _TwoLevelPredictor(SelfInvalidationPolicy):
         version: Optional[int],
     ) -> PolicyDecision:
         if trace_start:
-            sig = self.encoder.init(pc)
+            sig = self._enc_init(pc)
         else:
             prev = self._current.get(block)
             # A block can be resident from before this policy attached;
             # treat the first sighting as the trace start.
             sig = (
-                self.encoder.init(pc)
+                self._enc_init(pc)
                 if prev is None
-                else self.encoder.update(prev, pc)
+                else self._enc_update(prev, pc)
             )
         table = self._table_for(block)
         if table is not None and table.confident(sig):
@@ -93,9 +98,9 @@ class _TwoLevelPredictor(SelfInvalidationPolicy):
             self._pending[block] = sig
             self._active_blocks.add(block)
             self.predictions_fired += 1
-            return PolicyDecision(self_invalidate=True)
+            return DECISION_FIRE
         self._current[block] = sig
-        return PolicyDecision()
+        return DECISION_KEEP
 
     def on_invalidation(self, block: int) -> None:
         sig = self._current.pop(block, None)
@@ -157,7 +162,9 @@ class PerBlockLTP(_TwoLevelPredictor):
 
     def _table_for(self, block: int) -> Optional[CounterTable]:
         table = self._tables.get(block)
-        if table is not None:
+        # recency order across block tables only matters when max_blocks
+        # can evict; the unbounded (Table 3) setup skips the bookkeeping
+        if table is not None and self.max_blocks is not None:
             self._tables.move_to_end(block)
         return table
 
@@ -174,7 +181,7 @@ class PerBlockLTP(_TwoLevelPredictor):
                 self.confidence, max_entries=self.entries_per_block
             )
             self._tables[block] = table
-        else:
+        elif self.max_blocks is not None:
             self._tables.move_to_end(block)
         return table
 

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
-from repro.core.base import PolicyDecision, SelfInvalidationPolicy
+from repro.core.base import (
+    DECISION_FIRE,
+    DECISION_KEEP,
+    PolicyDecision,
+    SelfInvalidationPolicy,
+)
 from repro.protocol.coherence import CoherenceEngine
 from repro.protocol.states import MissKind
 from repro.trace.events import MemoryAccess
@@ -71,4 +76,4 @@ class OraclePolicy(SelfInvalidationPolicy):
     ) -> PolicyDecision:
         fire = self._next in self._ordinals
         self._next += 1
-        return PolicyDecision(self_invalidate=fire)
+        return DECISION_FIRE if fire else DECISION_KEEP

@@ -45,10 +45,10 @@ class SignatureEncoder:
             raise ConfigurationError(
                 f"signature width must be in [1, 64], got {self.bits}"
             )
-
-    @property
-    def mask(self) -> int:
-        return (1 << self.bits) - 1
+        # mask is read on every single access; precompute it instead of
+        # paying a property call per update (frozen dataclass, so set it
+        # through object.__setattr__)
+        object.__setattr__(self, "mask", (1 << self.bits) - 1)
 
     def init(self, pc: int) -> int:
         raise NotImplementedError

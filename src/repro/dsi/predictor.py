@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Set
 
-from repro.core.base import PolicyDecision, SelfInvalidationPolicy
+from repro.core.base import (
+    DECISION_KEEP,
+    PolicyDecision,
+    SelfInvalidationPolicy,
+)
 from repro.dsi.versioning import VersioningSelector
 from repro.protocol.states import MissKind
 from repro.trace.events import SyncKind
@@ -53,7 +57,7 @@ class DSIPolicy(SelfInvalidationPolicy):
                 # read copy revokes any candidacy from its read fetch
                 # (spin locks and RMW data never self-invalidate in DSI).
                 self._candidates.discard(block)
-        return PolicyDecision()
+        return DECISION_KEEP
 
     def on_invalidation(self, block: int) -> None:
         # The copy is gone; nothing left to self-invalidate.

@@ -79,6 +79,12 @@ from repro.runner.remote import (
     RemoteExecutionError,
     run_worker,
 )
+from repro.timing import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    select_engine,
+    selected_engine,
+)
 from repro.timing.config import SystemConfig
 from repro.trace.scheduler import interleave
 from repro.trace.stats import collect_stream_stats
@@ -143,6 +149,17 @@ def _add_runner_args(p: argparse.ArgumentParser, cache_default=None):
         help="compression codec for result/trace cache entries and "
              "remote wire payloads (default: none; reads decode any "
              "codec, so switching never invalidates a cache)",
+    )
+    _add_engine_arg(p)
+
+
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help="timing-engine core (default: the REPRO_ENGINE "
+             f"environment variable, else {DEFAULT_ENGINE!r}; the "
+             "cores are byte-identical, so cached results stay valid "
+             "under either)",
     )
 
 
@@ -337,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="compression codec for this worker's local trace-cache "
              "writes (reads decode any codec; default: none)",
     )
+    _add_engine_arg(p)
     p = sub.add_parser(
         "serve",
         help="run a persistent broker with an autoscaled local "
@@ -542,6 +560,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="return at most N rows",
     )
+    p = sub.add_parser(
+        "profile",
+        help="run one experiment's timing grid under cProfile and "
+             "report hot functions plus per-kind engine event "
+             "counters",
+    )
+    p.add_argument(
+        "experiment", choices=tuple(EXPERIMENTS),
+        help="experiment whose timing jobs to profile",
+    )
+    p.add_argument("--size", choices=SIZES, default="small")
+    p.add_argument(
+        "--workloads", nargs="+", choices=WORKLOAD_NAMES, default=None
+    )
+    p.add_argument(
+        "--sort", default="cumulative",
+        help="cProfile sort column (default: cumulative)",
+    )
+    p.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="profile rows to print (default: 25)",
+    )
+    p.add_argument(
+        "--trace-cache", metavar="PATH", default=None,
+        help="persistent ProgramSet build cache (trace synthesis "
+             "happens before profiling either way, so the profile "
+             "shows only engine time)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write an ltp-repro-bench/1 record (wall time, "
+             "specs/second, per-kind event counts) to PATH",
+    )
+    _add_engine_arg(p)
     sub.add_parser("config", help="print the Table 1 system parameters")
     p = sub.add_parser("workloads", help="print Table 2 workload stats")
     p.add_argument("--size", choices=SIZES, default="small")
@@ -603,6 +655,10 @@ def _backend_from_args(args):
 
 
 def _runner_from_args(args, progress=None) -> Runner:
+    if getattr(args, "engine", None):
+        # process-wide (and, via REPRO_ENGINE, inherited by every
+        # pool/remote worker this runner spawns)
+        select_engine(args.engine)
     cache = None
     codec = getattr(args, "codec", "none")
     cache_dir = getattr(args, "cache_dir", None)
@@ -1178,6 +1234,7 @@ def _worker_command(args) -> int:
             name=args.name,
             fetch_traces=not args.no_fetch_traces,
             trace_codec=args.codec,
+            engine=args.engine,
         )
     except (OSError, ProtocolError) as exc:
         print(
@@ -1198,6 +1255,107 @@ def _worker_command(args) -> int:
     return 0
 
 
+def _profile_command(args) -> int:
+    import cProfile
+    import platform
+    import pstats
+
+    from repro.runner.runner import (
+        _programs_for,
+        _swap_trace_cache,
+        make_timing_engine,
+    )
+
+    if args.engine:
+        select_engine(args.engine)
+    engine_name = selected_engine()
+    module = EXPERIMENTS[args.experiment]
+    specs = [
+        spec
+        for spec in dict.fromkeys(
+            module.jobs(size=args.size, workloads=args.workloads)
+        )
+        if spec.kind == "timing"
+    ]
+    if not specs:
+        print(
+            f"profile: {args.experiment} runs no timing jobs — "
+            "profile a timing experiment (e.g. fig9 or table4)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_cache:
+        _swap_trace_cache(TraceCache(args.trace_cache))
+    print(
+        f"[profile] {len(specs)} timing specs "
+        f"({args.experiment}, size={args.size}) on the "
+        f"{engine_name!r} core"
+    )
+    # synthesize (or load) every ProgramSet up front: the profile
+    # should show where engine cycles go, not trace construction
+    for spec in specs:
+        _programs_for(spec)
+    counters: dict = {}
+    profiler = cProfile.Profile()
+    start = time.time()
+    profiler.enable()
+    for spec in specs:
+        engine = make_timing_engine(spec)
+        engine.run(_programs_for(spec))
+        for kind, count in getattr(engine, "event_counts", {}).items():
+            counters[kind] = counters.get(kind, 0) + count
+    profiler.disable()
+    elapsed = time.time() - start
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    rate = len(specs) / elapsed if elapsed else 0.0
+    print(
+        f"[profile] {len(specs)} specs in {elapsed:.2f}s "
+        f"({rate:.2f} specs/s)"
+    )
+    if counters:
+        total = sum(counters.values()) or 1
+        print(f"[profile] {sum(counters.values()):,} events by kind:")
+        for kind, count in sorted(
+            counters.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(
+                f"    {kind:<14} {count:>12,}  ({count / total:5.1%})"
+            )
+    else:
+        print(
+            "[profile] (this core keeps no per-kind event counters — "
+            "rerun with --engine fast for the event breakdown)"
+        )
+    if args.json:
+        record = {
+            "schema": "ltp-repro-bench/1",
+            "name": f"profile_{args.experiment}",
+            "fullname": f"ltp-repro profile {args.experiment}",
+            "group": "profile",
+            "timestamp": time.time(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "rounds": 1,
+            "stats_s": {
+                "mean": elapsed, "min": elapsed, "max": elapsed,
+                "stddev": 0.0,
+            },
+            "extra_info": {
+                "engine": engine_name,
+                "size": args.size,
+                "specs": len(specs),
+                "specs_per_second": rate,
+                "event_counts": counters,
+            },
+        }
+        with open(args.json, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[wrote {args.json}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "config":
@@ -1215,6 +1373,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(args)
     if args.command == "query":
         return _query_command(args)
+    if args.command == "profile":
+        return _profile_command(args)
     if args.command == "report" and args.html:
         return _report_html_command(args)
     if args.command == "report":

@@ -85,6 +85,14 @@ def _trace_codec(runner: "Runner") -> str:
     return runner.trace_cache.codec.name if runner.trace_cache else "none"
 
 
+def _worker_initargs(runner: "Runner") -> Tuple:
+    """Pool-worker initializer arguments: the shared trace cache plus
+    the parent's timing-engine selection, pinned explicitly."""
+    from repro.timing import selected_engine
+
+    return (_trace_root(runner), _trace_codec(runner), selected_engine())
+
+
 def _grouped(specs: List[JobSpec]) -> List[JobSpec]:
     """Order jobs so specs sharing a ProgramSet sit together and each
     pool worker's per-process memo rebuilds as few workloads as
@@ -138,7 +146,7 @@ class PoolBackend(ExecutionBackend):
         with multiprocessing.Pool(
             processes=min(self.jobs, len(ordered)),
             initializer=_execution._worker_init,
-            initargs=(_trace_root(runner), _trace_codec(runner)),
+            initargs=_worker_initargs(runner),
         ) as pool:
             for spec, value in _pooled(pool, ordered, self.jobs):
                 yield spec, value, "run"
@@ -189,7 +197,7 @@ class CooperativeBackend(ExecutionBackend):
                 pool = multiprocessing.Pool(
                     processes=self.jobs,
                     initializer=_execution._worker_init,
-                    initargs=(_trace_root(runner), _trace_codec(runner)),
+                    initargs=_worker_initargs(runner),
                 )
             with HeartbeatKeeper(store) as keeper:
                 while pending:

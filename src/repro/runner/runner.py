@@ -42,7 +42,7 @@ from repro.runner.cache import ResultCache
 from repro.runner.claims import DEFAULT_TTL
 from repro.runner.spec import NULL_POLICY, JobSpec
 from repro.sim import AccuracySimulator
-from repro.timing import TimingSimulator
+from repro.timing import make_engine, select_engine
 from repro.trace.program import ProgramSet
 from repro.trace.scheduler import interleave
 from repro.workloads import TraceCache, cached_build, get_workload
@@ -66,11 +66,20 @@ def _swap_trace_cache(cache: Optional[TraceCache]) -> Optional[TraceCache]:
     return previous
 
 
-def _worker_init(trace_root: Optional[str], codec: str = "none") -> None:
+def _worker_init(
+    trace_root: Optional[str],
+    codec: str = "none",
+    engine: Optional[str] = None,
+) -> None:
     """Pool-worker initializer: attach the shared trace cache (writes
-    under the parent runner's codec; reads decode any codec)."""
+    under the parent runner's codec; reads decode any codec) and pin
+    the parent's timing-engine selection (spawned workers would also
+    inherit it via ``REPRO_ENGINE``, but the initarg survives an
+    environment scrubbed between fork and first spec)."""
     if trace_root:
         _swap_trace_cache(TraceCache(trace_root, codec=codec))
+    if engine:
+        select_engine(engine)
 
 
 def _programs_for(spec: JobSpec) -> ProgramSet:
@@ -83,6 +92,23 @@ def _programs_for(spec: JobSpec) -> ProgramSet:
         programs = cached_build(workload, _TRACE_CACHE)
         _PROGRAMS[key] = programs
     return programs
+
+
+def make_timing_engine(spec: JobSpec) -> Any:
+    """The process-selected engine core, configured for a timing spec.
+
+    Engine choice is deliberately *not* part of the spec (both cores
+    are byte-identical, so cached results are valid under either);
+    ``repro profile`` uses this to run specs while keeping a handle on
+    the engine's per-kind event counters.
+    """
+    return make_engine(
+        spec.policy.build,
+        config=spec.config,
+        variant=ProtocolVariant[spec.variant.upper()],
+        forwarding=spec.forwarding,
+        si_fire_delay=spec.si_fire_delay,
+    )
 
 
 def execute_spec(spec: JobSpec) -> Any:
@@ -98,14 +124,7 @@ def execute_spec(spec: JobSpec) -> Any:
         sim = AccuracySimulator(spec.policy.build, variant=variant)
         return sim.run(programs)
     if spec.kind == "timing":
-        sim = TimingSimulator(
-            spec.policy.build,
-            config=spec.config,
-            variant=variant,
-            forwarding=spec.forwarding,
-            si_fire_delay=spec.si_fire_delay,
-        )
-        return sim.run(programs)
+        return make_timing_engine(spec).run(programs)
     raise ConfigurationError(f"unknown job kind {spec.kind!r}")
 
 

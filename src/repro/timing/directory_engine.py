@@ -25,9 +25,9 @@ from repro.timing.messages import DATA_CARRYING, PARKABLE, Message, MsgType
 from repro.timing.stats import DirectoryStats
 
 #: (time, callback) scheduling function provided by the event loop
-Scheduler = Callable[[float, Callable[[float], None]], None]
+Scheduler = Callable[[int, Callable[[int], None]], None]
 #: handler(message, service_completion_time) applied by the protocol
-ServiceHandler = Callable[[Message, float], None]
+ServiceHandler = Callable[[Message, int], None]
 
 
 class DirectoryEngine:
@@ -53,12 +53,12 @@ class DirectoryEngine:
         #: started, protocol handler not yet run) — a second request for
         #: the same block must not enter the pipeline behind it.
         self._in_service: Dict[int, int] = {}
-        self._next_free = 0.0
+        self._next_free = 0
         self._dequeue_scheduled = False
 
     # ------------------------------------------------------------------
 
-    def arrive(self, msg: Message, now: float) -> None:
+    def arrive(self, msg: Message, now: int) -> None:
         """A message reaches this directory's queue."""
         msg.arrival = now
         self._queue.append(msg)
@@ -68,12 +68,12 @@ class DirectoryEngine:
         """Mark ``block`` busy: parkable messages defer until complete."""
         self._busy_blocks.add(block)
 
-    def end_transaction(self, block: int, now: float) -> None:
+    def end_transaction(self, block: int, now: int) -> None:
         """Transaction done: release parked messages to the queue head."""
         self._busy_blocks.discard(block)
         self._release_parked(block, now)
 
-    def _release_parked(self, block: int, now: float) -> None:
+    def _release_parked(self, block: int, now: int) -> None:
         if block in self._busy_blocks or block in self._in_service:
             return
         parked = self._parked.pop(block, None)
@@ -110,14 +110,14 @@ class DirectoryEngine:
             return cfg.memory_service_time
         return cfg.control_service_time
 
-    def _kick(self, now: float) -> None:
+    def _kick(self, now: int) -> None:
         if self._dequeue_scheduled or not self._queue:
             return
         at = max(now, self._next_free)
         self._dequeue_scheduled = True
         self._schedule(at, self._dequeue)
 
-    def _dequeue(self, now: float) -> None:
+    def _dequeue(self, now: int) -> None:
         self._dequeue_scheduled = False
         # Park deferred messages without consuming the server.
         while self._queue:
@@ -147,7 +147,7 @@ class DirectoryEngine:
         self._schedule(done, lambda t, m=msg: self._complete(m, t))
         self._kick(start)
 
-    def _complete(self, msg: Message, now: float) -> None:
+    def _complete(self, msg: Message, now: int) -> None:
         """Run the protocol handler, then release the address interlock
         (unless the handler opened a transaction on the block)."""
         self._handler(msg, now)

@@ -9,11 +9,21 @@ timeliness — Figure 9 and Table 4).
 Event model
 -----------
 A single calendar (heap) of ``(time, seq, callback)`` entries drives
-everything. Nodes are in-order: they execute program steps inline,
-advancing a local clock, until a coherence miss / barrier / contended
-lock blocks them; replies, releases and grants schedule their
-continuation. Directory engines schedule their own dequeue/service
-completions through the same calendar.
+everything. Timestamps are **integer cycles** end to end — every
+latency in :class:`~repro.timing.config.SystemConfig` is integral, so
+no float accumulation can creep into timestamps (the cross-engine
+byte-identity oracle in ``tests/integration/test_engine_conformance.py``
+depends on exact calendar arithmetic). Nodes are in-order: they execute
+program steps inline, advancing a local clock, until a coherence miss /
+barrier / contended lock blocks them; replies, releases and grants
+schedule their continuation. Directory engines schedule their own
+dequeue/service completions through the same calendar.
+
+This module is the **reference core** — the semantics oracle. The
+drop-in optimized core lives in :mod:`repro.timing.engine_fast`; both
+implement the :class:`~repro.timing.core.EngineCore` contract and must
+produce byte-identical :class:`~repro.timing.stats.TimingReport`
+pickles for any program.
 
 Protocol transactions
 ---------------------
@@ -89,7 +99,13 @@ class _Transaction:
 
 
 class TimingSimulator:
-    """Runs one (workload, policy) pair on the timing model."""
+    """Runs one (workload, policy) pair on the timing model.
+
+    This is the readable reference implementation of the
+    :class:`~repro.timing.core.EngineCore` contract.
+    """
+
+    core_name = "reference"
 
     def __init__(
         self,
@@ -128,8 +144,9 @@ class TimingSimulator:
         self._programs = programs
         n = cfg.num_nodes
 
-        self._events: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._events: List[Tuple[int, int, Callable[[int], None]]] = []
         self._seq = itertools.count()
+        self._last_event_time = 0
         self._ctx = {
             node: NodeContext(node, self._factory(node)) for node in range(n)
         }
@@ -148,7 +165,7 @@ class TimingSimulator:
             for home in range(n)
         ]
         self._barrier_waiters: List[int] = []
-        self._barrier_last_arrival = 0.0
+        self._barrier_last_arrival = 0
         self._finished = 0
         self._consumer_pred = (
             ConsumerPredictor() if self._forwarding else None
@@ -157,19 +174,11 @@ class TimingSimulator:
             self._report.forwarding = ForwardingStats()
 
         for node in range(n):
-            self._at(0.0, lambda t, node=node: self._run_node(node, t))
+            self._at(0, lambda t, node=node: self._run_node(node, t))
         self._drain()
 
         if self._finished != n:
-            stuck = {
-                i: c.status.value
-                for i, c in self._ctx.items()
-                if c.status is not NodeStatus.FINISHED
-            }
-            raise SimulationError(
-                f"timing run of {programs.name!r} stalled; "
-                f"unfinished nodes: {stuck}"
-            )
+            raise SimulationError(self._stall_diagnostics())
         self._report.per_node_finish = {
             i: c.finish_time for i, c in self._ctx.items()
         }
@@ -181,20 +190,38 @@ class TimingSimulator:
             self._report.storage = aggregate_reports(storage)
         return self._report
 
-    def _at(self, time: float, fn: Callable[[float], None]) -> None:
+    def _at(self, time: int, fn: Callable[[int], None]) -> None:
         heapq.heappush(self._events, (time, next(self._seq), fn))
 
     def _drain(self) -> None:
         events = self._events
         while events:
             time, _, fn = heapq.heappop(events)
+            self._last_event_time = time
             fn(time)
+
+    def _stall_diagnostics(self) -> str:
+        """Describe a stalled run: the calendar drained with unfinished
+        nodes. Reports the last event time and every node's status and
+        progress so deadlocks are debuggable from the exception alone."""
+        per_node = "; ".join(
+            f"node {i}: {c.status.value} at step "
+            f"{c.step_index}/{len(self._programs.programs[i].steps)}"
+            for i, c in self._ctx.items()
+            if c.status is not NodeStatus.FINISHED
+        )
+        return (
+            f"timing run of {self._programs.name!r} stalled — calendar "
+            f"drained at t={self._last_event_time} with "
+            f"{self._cfg.num_nodes - self._finished} unfinished "
+            f"node(s): {per_node}"
+        )
 
     # ------------------------------------------------------------------
     # node execution
     # ------------------------------------------------------------------
 
-    def _run_node(self, node: int, t: float) -> None:
+    def _run_node(self, node: int, t: int) -> None:
         ctx = self._ctx[node]
         ctx.status = NodeStatus.RUNNING
         steps = self._programs.programs[node].steps
@@ -248,7 +275,7 @@ class TimingSimulator:
                 release_step = step
 
                 def after_release(
-                    t2: float,
+                    t2: int,
                     node: int = node,
                     step: LockRelease = release_step,
                 ) -> None:
@@ -279,7 +306,7 @@ class TimingSimulator:
                 InjectedAccess(step.spin_pc, step.address, False)
             )
 
-        def after_acquire(t2: float, node: int = ctx.node) -> None:
+        def after_acquire(t2: int, node: int = ctx.node) -> None:
             self._fire_sync(
                 node, SyncKind.LOCK_ACQUIRE, step.lock_id, t2
             )
@@ -288,7 +315,7 @@ class TimingSimulator:
             InjectedAccess(step.pc, step.address, True, after_acquire)
         )
 
-    def _grant_lock(self, node: int, t: float) -> None:
+    def _grant_lock(self, node: int, t: int) -> None:
         ctx = self._ctx[node]
         step = ctx.pending_lock
         ctx.pending_lock = None
@@ -304,7 +331,7 @@ class TimingSimulator:
         self._inject_lock_acquire(ctx, step, spins)
         self._at(t, lambda t2: self._run_node(node, t2))
 
-    def _arrive_barrier(self, node: int, t: float) -> None:
+    def _arrive_barrier(self, node: int, t: int) -> None:
         ctx = self._ctx[node]
         ctx.status = NodeStatus.BLOCKED_BARRIER
         self._barrier_waiters.append(node)
@@ -313,7 +340,7 @@ class TimingSimulator:
             release = self._barrier_last_arrival + self._cfg.barrier_latency
             waiters = self._barrier_waiters
             self._barrier_waiters = []
-            self._barrier_last_arrival = 0.0
+            self._barrier_last_arrival = 0
             for w in waiters:
                 self._at(release, lambda t2, w=w: self._run_node(w, t2))
 
@@ -328,8 +355,8 @@ class TimingSimulator:
         address: int,
         is_write: bool,
         work: int,
-        t: float,
-    ) -> Optional[float]:
+        t: int,
+    ) -> Optional[int]:
         """Execute one access; return the completion time, or None if it
         missed and the node is now blocked awaiting the reply."""
         cfg = self._cfg
@@ -372,7 +399,7 @@ class TimingSimulator:
         trace_start: bool,
         miss_kind: Optional[MissKind],
         version: Optional[int],
-        t: float,
+        t: int,
     ) -> None:
         decision = self._ctx[node].policy.on_access(
             block, pc, trace_start, miss_kind, version
@@ -380,28 +407,39 @@ class TimingSimulator:
         if decision.self_invalidate:
             self._fire_si(node, block, t)
 
-    def _fire_si(self, node: int, block: int, t: float) -> None:
+    def _fire_si(self, node: int, block: int, t: int) -> None:
         ctx = self._ctx[node]
         cached = self._caches.lookup(node, block)
         if cached is None or block in ctx.si_inflight:
             return
         if self._si_fire_delay:
-            # The LTP port is busy: issue later, unless the copy is
-            # gone by then (an external invalidation won the race).
+            # The LTP port is busy: issue later.  The fire is bound to
+            # the *current* copy via its epoch — if the block is
+            # externally invalidated (and even re-fetched) inside the
+            # delay window, the delayed fire must not evict the new
+            # generation the policy never decided for.
             delay = self._si_fire_delay
+            epoch = ctx.fire_epoch.get(block, 0)
             self._at(
                 t + delay,
-                lambda t2: self._fire_si_now(node, block, t2),
+                lambda t2: self._fire_si_now(node, block, epoch, t2),
             )
             return
-        self._fire_si_now(node, block, t)
+        self._fire_si_now(node, block, ctx.fire_epoch.get(block, 0), t)
 
-    def _fire_si_now(self, node: int, block: int, t: float) -> None:
+    def _fire_si_now(
+        self, node: int, block: int, epoch: int, t: int
+    ) -> None:
         ctx = self._ctx[node]
+        if ctx.fire_epoch.get(block, 0) != epoch:
+            # The copy this decision targeted is gone: an external
+            # invalidation (or a competing self-invalidation) retired
+            # its epoch inside the fire-delay window.
+            return
         cached = self._caches.lookup(node, block)
         if cached is None or block in ctx.si_inflight:
             return
-        self._caches.evict(node, block)
+        self._evict(node, block)
         ctx.si_inflight.add(block)
         self._report.selfinval.fired += 1
         self._send_to_dir(
@@ -416,17 +454,24 @@ class TimingSimulator:
         )
 
     def _fire_sync(
-        self, node: int, kind: SyncKind, sync_id: int, t: float
+        self, node: int, kind: SyncKind, sync_id: int, t: int
     ) -> None:
         blocks = self._ctx[node].policy.on_sync(kind, sync_id)
         for block in blocks:
             self._fire_si(node, block, t)
 
+    def _evict(self, node: int, block: int) -> None:
+        """Drop ``node``'s copy and retire its fire epoch, voiding any
+        delayed self-invalidation scheduled against the old copy."""
+        self._caches.evict(node, block)
+        ctx = self._ctx[node]
+        ctx.fire_epoch[block] = ctx.fire_epoch.get(block, 0) + 1
+
     # ------------------------------------------------------------------
     # messaging
     # ------------------------------------------------------------------
 
-    def _send_to_dir(self, src: int, msg: Message, t: float) -> None:
+    def _send_to_dir(self, src: int, msg: Message, t: int) -> None:
         home = self._cfg.home_of(msg.block)
         arrival = self._network.send_at(src, t)
         engine = self._dirs[home]
@@ -438,7 +483,7 @@ class TimingSimulator:
         node: int,
         mtype: MsgType,
         block: int,
-        t: float,
+        t: int,
         version: Optional[int] = None,
         upgrade: bool = False,
     ) -> None:
@@ -470,7 +515,7 @@ class TimingSimulator:
     # directory service (called by DirectoryEngine at completion time)
     # ------------------------------------------------------------------
 
-    def _service(self, msg: Message, t: float) -> None:
+    def _service(self, msg: Message, t: int) -> None:
         ent = self._directory.entry(msg.block)
         if msg.mtype in (MsgType.READ_REQ, MsgType.WRITE_REQ):
             self._service_request(msg, ent, t)
@@ -484,7 +529,7 @@ class TimingSimulator:
             raise SimulationError(f"directory got {msg.mtype}")
 
     def _service_request(
-        self, msg: Message, ent: DirectoryEntry, t: float
+        self, msg: Message, ent: DirectoryEntry, t: int
     ) -> None:
         requester = msg.src
         block = msg.block
@@ -571,7 +616,7 @@ class TimingSimulator:
         block: int,
         requester: int,
         is_write: bool,
-        t: float,
+        t: int,
     ) -> None:
         home = self._cfg.home_of(block)
         version_seen = ent.version
@@ -594,7 +639,7 @@ class TimingSimulator:
         )
 
     def _service_writeback(
-        self, msg: Message, ent: DirectoryEntry, t: float
+        self, msg: Message, ent: DirectoryEntry, t: int
     ) -> None:
         block = msg.block
         trans = self._trans.pop(block, None)
@@ -614,7 +659,7 @@ class TimingSimulator:
         self._dirs[self._cfg.home_of(block)].end_transaction(block, t)
 
     def _service_ack(
-        self, msg: Message, ent: DirectoryEntry, t: float
+        self, msg: Message, ent: DirectoryEntry, t: int
     ) -> None:
         block = msg.block
         trans = self._trans.get(block)
@@ -630,7 +675,7 @@ class TimingSimulator:
         self._dirs[self._cfg.home_of(block)].end_transaction(block, t)
 
     def _service_self_inval(
-        self, msg: Message, ent: DirectoryEntry, t: float
+        self, msg: Message, ent: DirectoryEntry, t: int
     ) -> None:
         node = msg.src
         block = msg.block
@@ -660,7 +705,7 @@ class TimingSimulator:
     # ------------------------------------------------------------------
 
     def _receive_reply(
-        self, node: int, block: int, version: Optional[int], t: float
+        self, node: int, block: int, version: Optional[int], t: int
     ) -> None:
         ctx = self._ctx[node]
         if ctx.outstanding is None:
@@ -692,11 +737,11 @@ class TimingSimulator:
                 ia.after(t_done)
         self._run_node(node, t_done)
 
-    def _receive_invalidate(self, node: int, block: int, t: float) -> None:
+    def _receive_invalidate(self, node: int, block: int, t: int) -> None:
         ctx = self._ctx[node]
         cached = self._caches.lookup(node, block)
         if cached is not None:
-            self._caches.evict(node, block)
+            self._evict(node, block)
             if block in ctx.forwarded:
                 # untouched forwarded copy died: the policy never saw
                 # the block, so no learning event either
@@ -718,11 +763,11 @@ class TimingSimulator:
             t + self._cfg.node_inval_process,
         )
 
-    def _receive_fetch_inval(self, node: int, block: int, t: float) -> None:
+    def _receive_fetch_inval(self, node: int, block: int, t: int) -> None:
         ctx = self._ctx[node]
         cached = self._caches.lookup(node, block)
         if cached is not None:
-            self._caches.evict(node, block)
+            self._evict(node, block)
             ctx.policy.on_invalidation(block)
             self._report.external_invalidations += 1
         elif block not in ctx.si_inflight:
@@ -738,7 +783,7 @@ class TimingSimulator:
         )
 
     def _maybe_forward(
-        self, holder: int, block: int, ent: DirectoryEntry, t: float
+        self, holder: int, block: int, ent: DirectoryEntry, t: int
     ) -> None:
         """Forwarding extension: push a read-only copy of a just
         self-invalidated block to the predicted next consumer.
@@ -772,7 +817,7 @@ class TimingSimulator:
             lambda t2: self._receive_forward(consumer, block, t2),
         )
 
-    def _receive_forward(self, node: int, block: int, t: float) -> None:
+    def _receive_forward(self, node: int, block: int, t: int) -> None:
         ctx = self._ctx[node]
         if self._caches.lookup(node, block) is not None:
             return
@@ -780,7 +825,7 @@ class TimingSimulator:
         ctx.forwarded.add(block)
 
     def _receive_fetch_downgrade(
-        self, node: int, block: int, t: float
+        self, node: int, block: int, t: int
     ) -> None:
         """DOWNGRADE variant: write back, keep a read-only copy. Not a
         learning event — the node's trace continues across it."""

@@ -64,5 +64,5 @@ class Message:
     block: int
     requester: Optional[int] = None
     dirty: bool = False
-    arrival: float = 0.0
+    arrival: int = 0
     uid: int = field(default_factory=lambda: next(_seq))

@@ -21,11 +21,13 @@ class Network:
     def __init__(self, config: SystemConfig) -> None:
         self._latency = config.network_latency
         self._ni_overhead = config.ni_send_overhead
-        # next time each node's interface is free to inject
-        self._ni_free: List[float] = [0.0] * config.num_nodes
+        # next cycle each node's interface is free to inject (integer
+        # cycles end to end — the byte-identity oracle needs exact
+        # timestamps, so no float accumulation)
+        self._ni_free: List[int] = [0] * config.num_nodes
         self.messages_sent = 0
 
-    def send_at(self, src: int, now: float) -> float:
+    def send_at(self, src: int, now: int) -> int:
         """Serialize a send through ``src``'s interface at ``now``;
         return the arrival time at the destination."""
         inject = max(now, self._ni_free[src])
@@ -33,5 +35,5 @@ class Network:
         self.messages_sent += 1
         return inject + self._ni_overhead + self._latency
 
-    def interface_free(self, src: int) -> float:
+    def interface_free(self, src: int) -> int:
         return self._ni_free[src]

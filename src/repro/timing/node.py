@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.core.base import SelfInvalidationPolicy
 
@@ -36,7 +36,7 @@ class InjectedAccess:
     pc: int
     address: int
     is_write: bool
-    after: Optional[Callable[[float], None]] = None
+    after: Optional[Callable[[int], None]] = None
 
 
 @dataclass
@@ -50,7 +50,7 @@ class NodeContext:
     injected: Deque[InjectedAccess] = field(default_factory=deque)
     #: outstanding miss: (pc, address, is_write, completion callback)
     outstanding: Optional[
-        Tuple[int, int, bool, Optional[Callable[[float], None]]]
+        Tuple[int, int, bool, Optional[Callable[[int], None]]]
     ] = None
     #: blocks this node flushed whose SELF_INVAL is still in flight
     si_inflight: Set[int] = field(default_factory=set)
@@ -61,4 +61,7 @@ class NodeContext:
     lock_wait_mark: int = 0
     #: the LockAcquire step this node is queued on (None otherwise)
     pending_lock: Optional[object] = None
-    finish_time: float = 0.0
+    #: per-block fire generation: bumped on every eviction so a delayed
+    #: self-invalidation cannot evict a copy fetched after the decision
+    fire_epoch: Dict[int, int] = field(default_factory=dict)
+    finish_time: int = 0

@@ -35,12 +35,13 @@ can persist it without a decompress/recompress round trip.
 from __future__ import annotations
 
 import hashlib
+import mmap
 import pickle
 from pathlib import Path
 from typing import Optional, Tuple
 
 from repro._fsutil import atomic_write_bytes
-from repro.codecs import get_codec, migrate_files, pack, unpack
+from repro.codecs import BLOB_MAGIC, get_codec, migrate_files, pack, unpack
 from repro.trace.program import ProgramSet
 from repro.workloads.base import Workload
 
@@ -84,11 +85,32 @@ class TraceCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, workload: Workload) -> Tuple[bool, Optional[ProgramSet]]:
-        """Return ``(hit, program_set)``; corrupt entries are misses."""
+        """Return ``(hit, program_set)``; corrupt entries are misses.
+
+        Raw (``none``-codec) entries deserialize straight out of a
+        read-only ``mmap`` of the file: every pool worker loading the
+        same trace then reads one shared page-cache copy of the bytes
+        instead of materializing a private heap buffer first. Packed
+        entries decompress into a private buffer regardless, and
+        empty or unmappable files fall back to a plain read.
+        """
         path = self.path(workload)
         try:
             with open(path, "rb") as handle:
-                value = pickle.loads(unpack(handle.read()))
+                try:
+                    buf = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+                except (ValueError, OSError):
+                    value = pickle.loads(unpack(handle.read()))
+                else:
+                    with buf:
+                        if buf[: len(BLOB_MAGIC)] == BLOB_MAGIC:
+                            value = pickle.loads(unpack(bytes(buf)))
+                        else:
+                            # pickle copies what it keeps, so the
+                            # mapping can close right after loads
+                            value = pickle.loads(buf)
             if not isinstance(value, ProgramSet):
                 raise TypeError(f"expected ProgramSet, got {type(value)}")
             return True, value

@@ -1,0 +1,138 @@
+"""Byte-identical conformance between the timing-engine cores.
+
+The readable reference core (:class:`TimingSimulator`) is the oracle;
+the optimized core (:class:`FastTimingSimulator`) must reproduce its
+:class:`TimingReport` pickle-byte-for-byte across the behavioral
+surface the paper grid exercises: every policy, both protocol
+variants, forwarding on and off, prompt and delayed
+self-invalidation, real registry workloads and the synthetic sharing
+patterns. This is the contract that lets engine choice stay *out* of
+``JobSpec`` identity — a cached report is valid under either core.
+"""
+
+import pickle
+
+import pytest
+
+from repro.protocol.states import ProtocolVariant
+from repro.runner.spec import PolicySpec, POLICY_NAMES
+from repro.timing import (
+    SystemConfig,
+    TimingSimulator,
+    make_engine,
+    select_engine,
+)
+from repro.timing.engine_fast import FastTimingSimulator
+from repro.workloads.registry import WORKLOAD_NAMES, build_program_set
+from tests.conftest import migratory_rmw, producer_consumer
+
+CORES = (TimingSimulator, FastTimingSimulator)
+
+
+def _reports(programs, policy="ltp", **kwargs):
+    """One TimingReport pickle per core, same configuration."""
+    spec = PolicySpec(name=policy)
+    return [
+        pickle.dumps(core(spec.build, **kwargs).run(programs))
+        for core in CORES
+    ]
+
+
+def _assert_identical(programs, **kwargs):
+    ref, fast = _reports(programs, **kwargs)
+    assert ref == fast
+
+
+class TestPaperGridCells:
+    """The full knob cross-product on one real workload."""
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @pytest.mark.parametrize("variant", list(ProtocolVariant))
+    def test_policy_by_variant(self, policy, variant):
+        programs = build_program_set("em3d", "tiny")
+        _assert_identical(programs, policy=policy, variant=variant)
+
+    @pytest.mark.parametrize("forwarding", [False, True])
+    @pytest.mark.parametrize("si_fire_delay", [0, 150])
+    def test_forwarding_by_delay(self, forwarding, si_fire_delay):
+        programs = build_program_set("em3d", "tiny")
+        _assert_identical(
+            programs,
+            forwarding=forwarding,
+            si_fire_delay=si_fire_delay,
+        )
+
+    def test_everything_at_once(self):
+        """All the non-default knobs together in one cell."""
+        programs = build_program_set("ocean", "tiny")
+        _assert_identical(
+            programs,
+            policy="hybrid",
+            variant=ProtocolVariant.DOWNGRADE,
+            forwarding=True,
+            si_fire_delay=90,
+        )
+
+
+class TestWorkloadSweep:
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_registry_workload(self, workload):
+        programs = build_program_set(workload, "tiny")
+        _assert_identical(
+            programs, policy="ltp", forwarding=True, si_fire_delay=150
+        )
+
+
+class TestSyntheticPatterns:
+    def test_producer_consumer(self):
+        _assert_identical(
+            producer_consumer(iterations=15, num_consumers=3),
+            policy="ltp",
+            si_fire_delay=40,
+        )
+
+    def test_migratory(self):
+        _assert_identical(
+            migratory_rmw(iterations=15, nodes=4), policy="dsi"
+        )
+
+    def test_custom_config(self):
+        _assert_identical(
+            producer_consumer(iterations=10),
+            policy="last-pc",
+            config=SystemConfig(
+                num_nodes=2, network_latency=33, engine_occupancy=7
+            ),
+        )
+
+
+class TestSelectionRouting:
+    """`make_engine` must honor the process-wide selection, so runner
+    traffic actually reaches the chosen core."""
+
+    def test_make_engine_routes_to_selection(self):
+        spec = PolicySpec(name="base")
+        try:
+            select_engine("reference")
+            assert isinstance(
+                make_engine(spec.build), TimingSimulator
+            )
+            select_engine("fast")
+            assert isinstance(
+                make_engine(spec.build), FastTimingSimulator
+            )
+        finally:
+            select_engine("fast")
+
+    def test_selected_cores_agree_end_to_end(self):
+        programs = producer_consumer(iterations=8)
+        spec = PolicySpec(name="ltp")
+        outputs = []
+        try:
+            for name in ("reference", "fast"):
+                select_engine(name)
+                engine = make_engine(spec.build, si_fire_delay=25)
+                outputs.append(pickle.dumps(engine.run(programs)))
+        finally:
+            select_engine("fast")
+        assert outputs[0] == outputs[1]

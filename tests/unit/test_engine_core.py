@@ -1,0 +1,126 @@
+"""Unit tests for the engine registry/selection and the stall
+diagnostics both cores attach to a deadlocked run."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.runner.spec import PolicySpec
+from repro.timing import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV,
+    ENGINE_NAMES,
+    TimingSimulator,
+    engine_class,
+    make_engine,
+    select_engine,
+    selected_engine,
+)
+from repro.timing import core as engine_core
+from repro.timing.engine_fast import FastTimingSimulator
+from repro.trace.program import (
+    Access,
+    LockAcquire,
+    LockRelease,
+    Program,
+    ProgramSet,
+)
+
+CORES = (TimingSimulator, FastTimingSimulator)
+
+
+@pytest.fixture
+def clean_selection(monkeypatch):
+    """No process-global selection, no REPRO_ENGINE in the env."""
+    monkeypatch.setattr(engine_core, "_selected", None)
+    monkeypatch.delenv(ENGINE_ENV, raising=False)
+
+
+class TestEngineRegistry:
+    def test_registered_names_resolve(self):
+        assert engine_class("reference") is TimingSimulator
+        assert engine_class("fast") is FastTimingSimulator
+        for name in ENGINE_NAMES:
+            assert engine_class(name).core_name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown timing"):
+            engine_class("turbo")
+
+
+class TestSelection:
+    def test_default_when_nothing_selects(self, clean_selection):
+        assert selected_engine() == DEFAULT_ENGINE
+
+    def test_env_var_respected(self, clean_selection, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        assert selected_engine() == "reference"
+
+    def test_typod_env_var_fails_loudly(
+        self, clean_selection, monkeypatch
+    ):
+        monkeypatch.setenv(ENGINE_ENV, "refrence")
+        with pytest.raises(ConfigurationError):
+            selected_engine()
+
+    def test_select_wins_over_env_and_exports(
+        self, clean_selection, monkeypatch
+    ):
+        import os
+
+        monkeypatch.setenv(ENGINE_ENV, "fast")
+        assert select_engine("reference") == "reference"
+        assert selected_engine() == "reference"
+        # exported so spawned pool workers inherit the choice
+        assert os.environ[ENGINE_ENV] == "reference"
+
+    def test_select_validates_before_committing(self, clean_selection):
+        with pytest.raises(ConfigurationError):
+            select_engine("turbo")
+        assert selected_engine() == DEFAULT_ENGINE
+
+    def test_make_engine_explicit_override(self, clean_selection):
+        select_engine("fast")
+        engine = make_engine(
+            PolicySpec(name="base").build, engine="reference"
+        )
+        assert isinstance(engine, TimingSimulator)
+
+
+def deadlocked_programs() -> ProgramSet:
+    """Two nodes acquire two locks in opposite order — the classic
+    deadlock. Each lock is released by its acquiring node, so
+    ``validate()`` passes and the stall only surfaces at run time."""
+    a = Program(0)
+    a.append(LockAcquire(1, 0x2000, 0x500, 0x504))
+    a.append(Access(0x510, 0x3000, True, work=50))
+    a.append(LockAcquire(2, 0x2040, 0x520, 0x524))
+    a.append(LockRelease(2, 0x2040, 0x528))
+    a.append(LockRelease(1, 0x2000, 0x508))
+    b = Program(1)
+    b.append(LockAcquire(2, 0x2040, 0x540, 0x544))
+    b.append(Access(0x550, 0x3040, True, work=50))
+    b.append(LockAcquire(1, 0x2000, 0x560, 0x564))
+    b.append(LockRelease(1, 0x2000, 0x568))
+    b.append(LockRelease(2, 0x2040, 0x548))
+    return ProgramSet("deadlock", 2, {0: a, 1: b})
+
+
+class TestStallDiagnostics:
+    @pytest.mark.parametrize("core", CORES)
+    def test_deadlock_reports_time_and_node_status(self, core):
+        engine = core(PolicySpec(name="base").build)
+        with pytest.raises(SimulationError) as exc:
+            engine.run(deadlocked_programs())
+        message = str(exc.value)
+        # the diagnostics must make the deadlock debuggable from the
+        # exception alone: what stalled, when, and where each node was
+        assert "stalled" in message
+        assert "t=" in message
+        assert "2 unfinished node(s)" in message
+        assert "node 0:" in message and "node 1:" in message
+        assert "/5" in message  # per-node step progress
+
+    @pytest.mark.parametrize("core", CORES)
+    def test_negative_delay_rejected(self, core):
+        with pytest.raises(SimulationError):
+            core(PolicySpec(name="base").build, si_fire_delay=-1)

@@ -155,3 +155,61 @@ class TestCLI:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "Figure 9" in out
+
+
+class TestProfileAndEngineCli:
+    """The `profile` subcommand and the `--engine` selection flag."""
+
+    @pytest.fixture(autouse=True)
+    def pinned_engine_state(self, monkeypatch):
+        """Restore the process-global engine selection after each
+        test — `--engine` deliberately mutates it."""
+        from repro.timing import core as engine_core
+
+        monkeypatch.setattr(engine_core, "_selected", None)
+        monkeypatch.setenv(engine_core.ENGINE_ENV, "fast")
+
+    def test_profile_prints_and_writes_bench_record(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "BENCH_profile_fig9.json"
+        code = main([
+            "profile", "fig9", "--size", "tiny",
+            "--workloads", "em3d", "--engine", "fast",
+            "--top", "3", "--json", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "specs/s" in text
+        assert "events by kind" in text
+        record = json.loads(out.read_text())
+        assert record["schema"] == "ltp-repro-bench/1"
+        assert record["name"] == "profile_fig9"
+        assert record["extra_info"]["engine"] == "fast"
+        assert record["extra_info"]["specs"] > 0
+        assert record["extra_info"]["event_counts"]["dir_arrive"] > 0
+
+    def test_profile_reference_core_has_no_counters(self, capsys):
+        code = main([
+            "profile", "fig9", "--size", "tiny",
+            "--workloads", "em3d", "--engine", "reference", "--top", "1",
+        ])
+        assert code == 0
+        assert "no per-kind event counters" in capsys.readouterr().out
+
+    def test_profile_rejects_non_timing_experiment(self, capsys):
+        code = main(["profile", "fig6", "--size", "tiny"])
+        assert code == 2
+        assert "no timing jobs" in capsys.readouterr().err
+
+    def test_engine_flag_pins_the_process_selection(self, capsys):
+        from repro.timing import selected_engine
+
+        code = main([
+            "fig9", "--size", "tiny", "--workloads", "em3d",
+            "--engine", "reference",
+        ])
+        assert code == 0
+        assert selected_engine() == "reference"

@@ -189,3 +189,72 @@ class TestRunnerIntegration:
             [census_job(WORKLOAD, SIZE)]
         )
         assert runner_module._TRACE_CACHE is None
+
+
+class TestMmapEntryReads:
+    """The read path maps raw entries instead of copying them into a
+    private buffer; the degenerate files an atomic-write crash can
+    leave behind must still degrade to misses."""
+
+    def _warm(self, tmp_path, codec="none"):
+        cache = TraceCache(tmp_path, codec=codec)
+        cached_build(get_workload(WORKLOAD, SIZE), cache)
+        return cache
+
+    def test_raw_entry_served_from_the_mapping(
+        self, tmp_path, monkeypatch
+    ):
+        import mmap as mmap_module
+
+        from repro.workloads import trace_cache as tc_module
+
+        cache = self._warm(tmp_path)
+        mapped = []
+        real_mmap = mmap_module.mmap
+
+        def recording_mmap(*args, **kwargs):
+            mapped.append(args)
+            return real_mmap(*args, **kwargs)
+
+        monkeypatch.setattr(tc_module.mmap, "mmap", recording_mmap)
+        hit, programs = cache.get(get_workload(WORKLOAD, SIZE))
+        assert hit and mapped, "raw entry must be read via mmap"
+        assert_event_identical(
+            programs, get_workload(WORKLOAD, SIZE).build()
+        )
+
+    def test_packed_entry_still_decodes(self, tmp_path):
+        cache = self._warm(tmp_path, codec="zlib")
+        # a none-configured reader decodes the zlib entry transparently
+        hit, programs = TraceCache(tmp_path).get(
+            get_workload(WORKLOAD, SIZE)
+        )
+        assert hit
+        assert_event_identical(
+            programs, get_workload(WORKLOAD, SIZE).build()
+        )
+
+    def test_empty_entry_degrades_to_miss(self, tmp_path):
+        cache = self._warm(tmp_path)
+        path = cache.path(get_workload(WORKLOAD, SIZE))
+        path.write_bytes(b"")  # mmap refuses empty files
+        hit, programs = cache.get(get_workload(WORKLOAD, SIZE))
+        assert not hit and programs is None
+        assert not path.exists(), "corrupt entry must be dropped"
+
+    def test_unmappable_file_falls_back_to_plain_read(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.workloads import trace_cache as tc_module
+
+        cache = self._warm(tmp_path)
+
+        def refuse(*args, **kwargs):
+            raise OSError("no mmap here")
+
+        monkeypatch.setattr(tc_module.mmap, "mmap", refuse)
+        hit, programs = cache.get(get_workload(WORKLOAD, SIZE))
+        assert hit, "read() fallback must still serve the entry"
+        assert_event_identical(
+            programs, get_workload(WORKLOAD, SIZE).build()
+        )
