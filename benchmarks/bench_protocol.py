@@ -68,3 +68,32 @@ def test_remote_lease_wire_overhead(benchmark):
             "key": KEYS[0], "report": report,
         })
     )
+
+
+def test_fair_share_lease_overhead(benchmark):
+    """The weighted round-robin across tenant grids must stay cheap:
+    draining 8 grids x 32 keys through the fair-share rotation is
+    pure bookkeeping, no I/O."""
+    grids = {
+        f"g{g}": [f"{g:02x}{i:062x}" for i in range(32)]
+        for g in range(8)
+    }
+
+    def cycle():
+        table = LeaseTable([], ttl=60.0, clock=lambda: 1000.0)
+        for g, (grid, keys) in enumerate(grids.items()):
+            table.extend(keys, group=grid, priority=1 + g % 2)
+        granted = 0
+        while not table.done():
+            batch = table.lease("w", 4)
+            assert batch
+            for key in batch:
+                assert table.complete(key)
+            granted += len(batch)
+        assert granted == sum(len(k) for k in grids.values())
+
+    benchmark.pedantic(cycle, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["tenant_grids"] = len(grids)
+    benchmark.extra_info["keys_per_cycle"] = sum(
+        len(k) for k in grids.values()
+    )

@@ -4,16 +4,22 @@ End-to-end, through the real CLI entry points:
 
 1. resolve a small grid with the inline backend (the golden bytes);
 2. start ``ltp-repro serve`` as a subprocess (autoscaling from zero,
-   free port, fresh cache) and parse the announced address;
-3. run ``ltp-repro submit`` against it (twice — the second submission
-   must be served entirely from the service's cache, exercising the
-   cross-grid amortization serve mode exists for);
-4. assert every report the service published is byte-identical to the
-   golden bytes, and that the autoscaler actually scaled (the
-   ``fleet.json`` status mirror records a scale-up event);
-5. run ``report --html`` against the smoke cache and assert the
+   free port, fresh cache, wire auth enabled) and parse the announced
+   address;
+3. assert a wrong-token ``ltp-repro submit`` is rejected before any
+   dispatch (the broker admits nothing and counts an auth failure);
+4. run two *concurrent* authenticated ``ltp-repro submit`` clients —
+   one grid per tenant — then a third warm submission that must be
+   served entirely from the service's cache, exercising the
+   cross-grid amortization serve mode exists for;
+5. assert every report the service published is byte-identical to the
+   golden bytes, that the autoscaler scaled up from zero, and that it
+   scaled *down* mid-queue by draining a worker (protocol v3: the
+   ``fleet_events.jsonl`` log records a ``down`` with a non-empty
+   queue, and the serve summary counts at least one drain);
+6. run ``report --html`` against the smoke cache and assert the
    rendered site covers the fleet's scale-up and the submitted
-   experiment (CI uploads the site directory as an artifact).
+   experiments (CI uploads the site directory as an artifact).
 
 Run as ``PYTHONPATH=src python scripts/serve_smoke_check.py [DIR]``;
 exits non-zero on any divergence.
@@ -33,13 +39,17 @@ from repro.experiments.cli import main as cli_main
 from repro.runner import PolicySpec, ResultCache, Runner, timing_job
 
 SIZE = "tiny"
-WORKLOAD = "em3d"
+#: one grid per tenant — distinct workloads so the two concurrent
+#: submissions admit disjoint spec sets into the shared lease table
+WORKLOADS = ("em3d", "tomcatv")
+AUTH_TOKEN = "serve-smoke-token"
 
 
-def _grid():
-    # table4's em3d slice: small, deterministic, multi-policy
+def _grid(workload):
+    # table4's slice for one workload: small, deterministic,
+    # multi-policy
     return [
-        timing_job(WORKLOAD, SIZE, PolicySpec(name=name))
+        timing_job(workload, SIZE, PolicySpec(name=name))
         for name in ("base", "dsi", "ltp")
     ]
 
@@ -51,11 +61,16 @@ def _start_serve(cache_dir: Path):
             "--listen", "127.0.0.1:0",
             "--cache-dir", str(cache_dir),
             "--max-workers", "2",
-            "--specs-per-worker", "2",
+            # 3 specs/worker means the controller wants a single
+            # worker as soon as the 6-spec tenant wave is half done —
+            # a wide window for the mid-queue scale-down this script
+            # asserts on (retirement drains, so nothing strands)
+            "--specs-per-worker", "3",
             "--cooldown", "0.2",
-            "--scale-interval", "0.1",
+            "--scale-interval", "0.05",
             "--lease-ttl", "10",
-            "--grids", "2",
+            "--grids", "3",
+            "--auth-token", AUTH_TOKEN,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -84,6 +99,16 @@ def _start_serve(cache_dir: Path):
     )
 
 
+def _submit(address, workload, token):
+    return cli_main([
+        "submit", "table4",
+        "--size", SIZE, "--workloads", workload,
+        "--connect", address,
+        "--timeout", "240",
+        "--auth-token", token,
+    ])
+
+
 def main(argv) -> int:
     if argv:
         work_dir = Path(argv[0])
@@ -94,25 +119,47 @@ def main(argv) -> int:
         work_dir = Path(context.name)
     cache_dir = work_dir / "serve-cache"
     try:
-        grid = _grid()
         golden = {
             spec: pickle.dumps(
                 value, protocol=pickle.HIGHEST_PROTOCOL
             )
-            for spec, value in Runner().run(grid).items()
+            for workload in WORKLOADS
+            for spec, value in Runner().run(_grid(workload)).items()
         }
 
         proc, address, lines = _start_serve(cache_dir)
         try:
-            for attempt in ("cold", "warm"):
-                rc = cli_main([
-                    "submit", "table4",
-                    "--size", SIZE, "--workloads", WORKLOAD,
-                    "--connect", address,
-                    "--timeout", "240",
-                ])
-                assert rc == 0, f"{attempt} submit exited {rc}"
-            proc.wait(timeout=60)  # --grids 2 ends the service
+            # wrong token: rejected during the HMAC handshake, before
+            # the submit frame is ever dispatched — and it must not
+            # consume one of the service's --grids slots
+            rc = _submit(address, WORKLOADS[0], "not-the-token")
+            assert rc != 0, (
+                "wrong-token submit was accepted by an authenticated "
+                "broker"
+            )
+
+            # two tenants submit concurrently; the fair-share broker
+            # serves both grids from the same autoscaled fleet
+            codes = {}
+            tenants = [
+                threading.Thread(
+                    target=lambda w=w: codes.__setitem__(
+                        w, _submit(address, w, AUTH_TOKEN)
+                    ),
+                )
+                for w in WORKLOADS
+            ]
+            for t in tenants:
+                t.start()
+            for t in tenants:
+                t.join()
+            for workload, rc in codes.items():
+                assert rc == 0, f"{workload} submit exited {rc}"
+
+            # warm: served entirely from the service's cache
+            rc = _submit(address, WORKLOADS[0], AUTH_TOKEN)
+            assert rc == 0, f"warm submit exited {rc}"
+            proc.wait(timeout=60)  # --grids 3 ends the service
             assert proc.returncode == 0, (
                 f"serve exited {proc.returncode}:\n"
                 + "\n".join(lines)
@@ -135,17 +182,38 @@ def main(argv) -> int:
                 f"{spec.label()} diverged from the inline backend"
             )
 
-        # the autoscaler did its job: a recorded scale-up from zero
-        status = json.loads(
-            (cache_dir / "claims" / "fleet.json").read_text()
+        # the broker counted the rejected client, and retirement went
+        # through the drain handshake (summary prints only when the
+        # counters are non-zero)
+        summary = [line for line in lines if "auth failure" in line]
+        assert summary, (
+            "serve summary recorded no auth failures:\n"
+            + "\n".join(lines)
         )
-        ups = [
-            event for event in status["events"]
-            if event["action"] == "up"
+        assert re.search(r"[1-9]\d* drain", summary[0]), (
+            f"no worker was drained: {summary[0]}"
+        )
+
+        # the autoscaler did its job, in both directions: a scale-up
+        # from zero, and a mid-queue scale-down (allowed since
+        # protocol v3 — retirement drains instead of terminating)
+        events = [
+            json.loads(line)
+            for line in (cache_dir / "claims" / "fleet_events.jsonl")
+            .read_text().splitlines()
         ]
-        assert ups, f"no scale-up event recorded: {status['events']}"
+        ups = [e for e in events if e["action"] == "up"]
+        assert ups, f"no scale-up event recorded: {events}"
         assert ups[0]["live"] == 0, (
             f"first scale-up did not start from zero: {ups[0]}"
+        )
+        downs = [e for e in events if e["action"] == "down"]
+        assert downs, f"no scale-down event recorded: {events}"
+        mid_queue_downs = [
+            e for e in downs if e["queue_depth"] > 0
+        ]
+        assert mid_queue_downs, (
+            f"every scale-down waited for an empty queue: {downs}"
         )
 
         # the reporting pipeline runs against the same cache: the
@@ -171,10 +239,12 @@ def main(argv) -> int:
         if context is not None:
             context.cleanup()
     print(
-        "serve smoke OK: 2 submitted grids byte-identical to the "
-        "inline backend, fleet scaled up from zero "
-        f"({len(ups)} up event(s)), report site rendered "
-        f"({1 + len(experiment_pages)} page(s))"
+        "serve smoke OK: 2 concurrent tenants + 1 warm grid "
+        "byte-identical to the inline backend, wrong-token client "
+        f"rejected, fleet scaled up from zero ({len(ups)} up "
+        f"event(s)) and drained down mid-queue "
+        f"({len(mid_queue_downs)} of {len(downs)} down event(s)), "
+        f"report site rendered ({1 + len(experiment_pages)} page(s))"
     )
     return 0
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -73,6 +74,7 @@ from repro.runner.backends import (
 )
 from repro.runner.claims import DEFAULT_TTL
 from repro.runner.remote import (
+    AUTH_TOKEN_ENV,
     DEFAULT_LEASE_TTL,
     ProtocolError,
     RemoteBackend,
@@ -151,6 +153,17 @@ def _add_runner_args(p: argparse.ArgumentParser, cache_default=None):
              "codec, so switching never invalidates a cache)",
     )
     _add_engine_arg(p)
+
+
+def _add_auth_token_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--auth-token", metavar="TOKEN",
+        default=os.environ.get(AUTH_TOKEN_ENV),
+        help="shared wire-auth secret (protocol v3 HMAC handshake); "
+             f"defaults to ${AUTH_TOKEN_ENV}. On `serve` it makes "
+             "the broker reject unauthenticated peers; on clients "
+             "and workers it authenticates the connection",
+    )
 
 
 def _add_engine_arg(p: argparse.ArgumentParser) -> None:
@@ -321,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
              "there instead of starting a broker (implies "
              "--backend remote)",
     )
+    _add_auth_token_arg(p)
     _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
     p = sub.add_parser(
         "worker",
@@ -354,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="compression codec for this worker's local trace-cache "
              "writes (reads decode any codec; default: none)",
     )
+    _add_auth_token_arg(p)
     _add_engine_arg(p)
     p = sub.add_parser(
         "serve",
@@ -421,6 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after N submitted grids complete (default: serve "
              "until interrupted; used by smoke tests)",
     )
+    p.add_argument(
+        "--max-pending-per-client", type=int, default=None,
+        metavar="N",
+        help="per-client quota: reject (with a retry-after) submit "
+             "frames that would put a client over N outstanding "
+             "specs (default: unlimited)",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=None, metavar="SECS",
+        help="seconds a drained worker may keep running before "
+             "scale-down escalates to terminate (default: "
+             "max(--lease-ttl, 5))",
+    )
+    _add_auth_token_arg(p)
     _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
     p = sub.add_parser(
         "submit",
@@ -445,6 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail if the submitted grid is not fully streamed back "
              "within SECS (default: wait)",
     )
+    p.add_argument(
+        "--priority", type=int, default=1, metavar="N",
+        help="fair-share weight for this grid: N lease grants per "
+             "scheduling rotation vs other live grids (default: 1)",
+    )
+    _add_auth_token_arg(p)
     p = sub.add_parser(
         "cache", help="inspect or prune the shared result cache"
     )
@@ -626,6 +661,7 @@ def _backend_from_args(args):
                 f"{address}",
                 flush=True,
             ),
+            auth_token=getattr(args, "auth_token", None),
         )
     if choice == "auto":
         return None
@@ -651,6 +687,7 @@ def _backend_from_args(args):
         ),
         announce=_announce_broker,
         warn=_warn_broker,
+        auth_token=getattr(args, "auth_token", None),
     )
 
 
@@ -1134,6 +1171,9 @@ def _serve_command(args) -> int:
             f"with: ltp-repro submit <experiment> --connect {address}",
             flush=True,
         ),
+        auth_token=args.auth_token,
+        max_pending_per_client=args.max_pending_per_client,
+        drain_grace=args.drain_grace,
     )
     service.start()
     print(
@@ -1159,6 +1199,12 @@ def _serve_command(args) -> int:
         f"{controller.supervisor.retired} retired, "
         f"{len(controller.events)} scaling events"
     )
+    if stats.drains or stats.rejected_submits or stats.auth_failures:
+        print(
+            f"[serve] {stats.drains} drain(s), "
+            f"{stats.rejected_submits} over-quota submit(s), "
+            f"{stats.auth_failures} auth failure(s)"
+        )
     return 0
 
 
@@ -1179,9 +1225,11 @@ def _submit_command(args) -> int:
     )
     start = time.time()
     try:
-        client = GridClient((host, port))
+        client = GridClient((host, port), auth_token=args.auth_token)
         try:
-            reply = client.submit(specs)
+            reply = client.submit(
+                specs, priority=max(1, args.priority)
+            )
             print(
                 f"[submit] grid {reply['grid']}: {client.specs} specs "
                 f"enqueued, {client.cached} already cached broker-side"
@@ -1235,6 +1283,7 @@ def _worker_command(args) -> int:
             fetch_traces=not args.no_fetch_traces,
             trace_codec=args.codec,
             engine=args.engine,
+            auth_token=args.auth_token,
         )
     except (OSError, ProtocolError) as exc:
         print(

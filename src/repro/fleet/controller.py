@@ -141,6 +141,12 @@ class FleetController:
                 ),
             ))
         live = self.supervisor.live()
+        # workers already draining toward retirement are committed to
+        # leave: comparing desired against the *committed* size keeps
+        # the controller from re-issuing (and re-logging) the same
+        # scale-down every tick while a drain completes
+        pending = getattr(self.supervisor, "pending_retirement", None)
+        committed = live - (pending() if callable(pending) else 0)
         sig = FleetSignals(
             queue_depth=queue_depth,
             live_workers=live,
@@ -164,11 +170,11 @@ class FleetController:
                 ))
         else:
             desired = self.policy.decide(sig)
-            if desired != live:
+            if desired != committed:
                 self.supervisor.scale_to(desired)
                 new_events.append(ScalingEvent(
                     when=now,
-                    action="up" if desired > live else "down",
+                    action="up" if desired > committed else "down",
                     live=live,
                     desired=desired,
                     queue_depth=queue_depth,

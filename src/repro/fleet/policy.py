@@ -21,10 +21,11 @@ Two concrete policies cover the common shapes:
 
 Both converge to ``min_workers`` (0 by default) on an empty queue, so
 an idle ``repro serve`` service costs nothing but the broker thread.
-While the queue is *non*-empty a fleet never shrinks (only grows):
-retiring a worker is a ``terminate()``, and killing one mid-spec
-strands its leases until the ttl expires — draining first and
-shrinking after is both safer and what a batch fleet wants.
+Scale-down while the queue is non-empty is allowed: since protocol v3
+the supervisor retires workers by *draining* them (the broker stops
+granting the worker leases, it finishes its in-flight batch and exits
+clean) rather than terminating mid-spec, so shrinking a busy fleet no
+longer strands leases until the ttl expires.
 
 The contract, model-checked by ``tests/property/test_fleet_props.py``:
 ``decide()`` never returns a value outside ``[min_workers,
@@ -116,19 +117,14 @@ class ScalingPolicy:
         value waits the cooldown out (the previous desired is held
         meanwhile).
 
-        Shrinking only happens on an *empty* queue: retirement is
-        destructive (the supervisor terminates the worker), so a
-        mid-drain scale-down would strand the victim's leased specs
-        until the lease ttl expires — the whole fleet then idles on
-        a handful of stuck leases. Scale-down-on-drain is also the
-        semantic the service wants: grow with the backlog, shrink
-        when it is gone. (Bounds violations are corrected
-        immediately, cooldown or not.)
+        Shrinking is permitted even while the queue is non-empty:
+        the supervisor retires workers by draining them (finish the
+        in-flight batch, release, exit) rather than terminating
+        mid-spec, so a mid-queue scale-down strands nothing. (Bounds
+        violations are corrected immediately, cooldown or not.)
         """
         live = signals.live_workers
         target = self._clamp(self.target(signals))
-        if signals.queue_depth > 0 and target < live <= self.max_workers:
-            target = live
         previous = self._last_desired
         if previous is None or self._clamp(previous) != previous:
             # first decision, or the bounds were reconfigured under

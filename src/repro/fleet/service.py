@@ -101,6 +101,14 @@ class FleetService:
         throughput_window: how far back completion counters count
             toward the throughput signal.
         announce: callback receiving the bound ``host:port`` string.
+        auth_token: shared wire-auth secret (protocol v3). ``None``
+            keeps the broker open (localhost-trust).
+        max_pending_per_client: outstanding-spec quota per submit
+            client; over-quota submissions get a ``busy`` retry-after
+            reply. ``None`` = unlimited.
+        drain_grace: seconds a drained worker may run before the
+            supervisor escalates to terminate; default
+            ``max(lease_ttl, 5.0)``.
     """
 
     def __init__(
@@ -118,6 +126,9 @@ class FleetService:
         scale_interval: float = 1.0,
         throughput_window: float = 120.0,
         announce: Optional[Callable[[str], None]] = None,
+        auth_token: Optional[str] = None,
+        max_pending_per_client: Optional[int] = None,
+        drain_grace: Optional[float] = None,
     ) -> None:
         if cache is None:
             raise ConfigurationError(
@@ -142,9 +153,16 @@ class FleetService:
             ship_traces=ship_traces,
             trace_cache=trace_cache,
             persistent=True,
+            auth_token=auth_token,
+            max_pending_per_client=max_pending_per_client,
         )
         self.batch = batch
         self.codec = codec
+        self.auth_token = auth_token
+        self.drain_grace = (
+            max(lease_ttl, 5.0) if drain_grace is None
+            else max(0.0, float(drain_grace))
+        )
         self.supervisor: Optional[WorkerSupervisor] = None
         self.controller: Optional[FleetController] = None
         self.address: Optional[Tuple[str, int]] = None
@@ -184,6 +202,9 @@ class FleetService:
             ),
             trace_codec=self.codec,
             name_prefix="serve",
+            drain=self.broker.drain_worker,
+            drain_grace=self.drain_grace,
+            auth_token=self.auth_token,
         )
         self.controller = FleetController(
             self.supervisor,

@@ -7,12 +7,16 @@ pointed at the broker's address, notices when they exit (returning
 decisions), and retires the newest workers first when told to scale
 down.
 
-Retirement is a ``terminate()``: serve-mode workers park in a lease
-poll when idle, so a SIGTERM lands between specs almost always — and
-when it does land mid-execution, the lease protocol already covers it
-(the dead worker's heartbeats stop, the lease expires, the spec is
-reassigned; see :mod:`repro.runner.remote`). Scaling down is therefore
-never able to lose or duplicate work, only to waste one attempt.
+Retirement prefers a graceful *drain* (protocol v3): the supervisor
+asks the broker to stop granting the victim leases, the worker
+finishes its in-flight batch, releases, and exits 0 — no lease is
+ever stranded. A worker that does not exit within ``drain_grace``
+seconds of being drained is escalated to a ``terminate()``, whose
+mid-spec case the lease protocol already covers (heartbeats stop, the
+lease expires, the spec is reassigned; see
+:mod:`repro.runner.remote`). Scaling down is therefore never able to
+lose or duplicate work, only — in the escalation case — to waste one
+attempt.
 
 ``spawn`` is injectable so unit tests can supervise fake process
 objects without forking anything.
@@ -72,6 +76,14 @@ class WorkerSupervisor:
             ``join(timeout)``, and ``exitcode``. Defaults to forking a
             real ``run_worker`` process.
         clock: time source for :class:`WorkerExit` stamps.
+        drain: ``drain(name) -> bool`` hook (normally
+            ``Broker.drain_worker``) asking the broker to retire the
+            named worker gracefully. ``None`` (or a hook returning
+            False) falls back to ``terminate()``.
+        drain_grace: seconds a drained worker may keep running before
+            retirement escalates to ``terminate()``.
+        auth_token: shared wire-auth secret forked workers
+            authenticate with (protocol v3).
     """
 
     def __init__(
@@ -83,6 +95,9 @@ class WorkerSupervisor:
         name_prefix: str = "fleet",
         spawn: Optional[Callable[[str, Tuple[str, int]], object]] = None,
         clock: Callable[[], float] = time.time,
+        drain: Optional[Callable[[str], bool]] = None,
+        drain_grace: float = 30.0,
+        auth_token: Optional[str] = None,
     ) -> None:
         self.address = tuple(address)
         self.batch = batch
@@ -91,9 +106,14 @@ class WorkerSupervisor:
         self.name_prefix = name_prefix
         self.spawn = spawn or self._spawn_process
         self.clock = clock
+        self.drain = drain
+        self.drain_grace = max(0.0, float(drain_grace))
+        self.auth_token = auth_token
         #: insertion-ordered name -> live process (newest last, which
         #: is the retirement order)
         self._procs: Dict[str, object] = {}
+        #: draining worker name -> escalation deadline (clock units)
+        self._draining: Dict[str, float] = {}
         self.spawned = 0
         self.retired = 0
 
@@ -121,6 +141,7 @@ class WorkerSupervisor:
                 trace_root=self.trace_root,
                 name=name,
                 trace_codec=self.trace_codec,
+                auth_token=self.auth_token,
             ),
             name=name,
             daemon=True,
@@ -134,6 +155,13 @@ class WorkerSupervisor:
         """Workers currently alive (without reaping the dead)."""
         return sum(1 for p in self._procs.values() if p.is_alive())
 
+    def pending_retirement(self) -> int:
+        """Drained workers still alive (retirement already counted)."""
+        return sum(
+            1 for name in self._draining
+            if name in self._procs and self._procs[name].is_alive()
+        )
+
     def names(self) -> List[str]:
         return list(self._procs)
 
@@ -141,16 +169,30 @@ class WorkerSupervisor:
         """Remove workers that exited on their own and report how.
 
         Retired workers never appear here — :meth:`_retire` removes
-        them synchronously — so every reported exit is unsolicited
-        and its :attr:`WorkerExit.crashed` flag is meaningful.
+        them synchronously, and a worker that exits because we drained
+        it is a *solicited* exit, removed silently — so every reported
+        exit is unsolicited and its :attr:`WorkerExit.crashed` flag is
+        meaningful. Drained workers that outlive their ``drain_grace``
+        deadline are escalated to ``terminate()`` here (their
+        retirement was already counted when the drain was issued).
         """
         now = self.clock()
         exits: List[WorkerExit] = []
         for name, proc in list(self._procs.items()):
             if proc.is_alive():
+                if name in self._draining and now >= self._draining[name]:
+                    # drain grace expired: escalate to terminate
+                    proc.terminate()
+                    proc.join(timeout=5)
+                    del self._procs[name]
+                    del self._draining[name]
                 continue
             proc.join(timeout=0)
             del self._procs[name]
+            if name in self._draining:
+                # solicited: the drain we issued completed
+                del self._draining[name]
+                continue
             exits.append(WorkerExit(
                 name=name,
                 exitcode=getattr(proc, "exitcode", None),
@@ -161,11 +203,14 @@ class WorkerSupervisor:
     # -- scaling -------------------------------------------------------
 
     def scale_to(self, desired: int) -> int:
-        """Grow or shrink the fleet to ``desired`` live workers.
+        """Grow or shrink the fleet to ``desired`` committed workers.
 
         Returns the signed change actually made. Growth forks fresh
         workers; shrink retires the newest first (oldest workers keep
-        their warm ``ProgramSet`` memos). Workers that died on their
+        their warm ``ProgramSet`` memos), preferring a graceful drain
+        via the ``drain`` hook — the worker stays alive until its
+        in-flight batch finishes, but counts as retired immediately
+        (see :meth:`pending_retirement`). Workers that died on their
         own are *not* reaped here — only :meth:`reap` removes them, so
         the controller always sees every unsolicited exit (the crash
         circuit breaker depends on it).
@@ -177,16 +222,18 @@ class WorkerSupervisor:
         # than we spawn (instant connect failure, bad trace root) —
         # arrivals that die are counted by the next reap(), which is
         # what lets the controller's crash breaker latch
-        for _ in range(max(0, desired - self.live())):
+        committed = self.live() - self.pending_retirement()
+        for _ in range(max(0, desired - committed)):
             name = self._next_name()
             self._procs[name] = self.spawn(name, self.address)
             self.spawned += 1
             delta += 1
-        while self.live() > desired:
+        while self.live() - self.pending_retirement() > desired:
             name = next(
                 (
                     n for n in reversed(list(self._procs))
                     if self._procs[n].is_alive()
+                    and n not in self._draining
                 ),
                 None,
             )
@@ -199,7 +246,13 @@ class WorkerSupervisor:
         return delta
 
     def _retire(self, name: str) -> None:
+        """Retire one worker: drain if possible, terminate otherwise."""
+        if self.drain is not None and self.drain(name):
+            self._draining[name] = self.clock() + self.drain_grace
+            self.retired += 1
+            return
         proc = self._procs.pop(name)
+        self._draining.pop(name, None)
         proc.terminate()
         proc.join(timeout=5)
         self.retired += 1
@@ -212,3 +265,4 @@ class WorkerSupervisor:
         for proc in self._procs.values():
             proc.join(timeout=timeout)
         self._procs.clear()
+        self._draining.clear()

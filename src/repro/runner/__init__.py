@@ -39,6 +39,7 @@ from repro.runner.backends import (
     default_backend,
 )
 from repro.runner.remote import (
+    AUTH_TOKEN_ENV,
     DEFAULT_LEASE_TTL,
     Broker,
     GridClient,
@@ -47,6 +48,7 @@ from repro.runner.remote import (
     RemoteBackend,
     RemoteExecutionError,
     WorkerStats,
+    authenticate,
     encode_frame,
     read_frame,
     read_frame_versioned,
@@ -63,6 +65,7 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "AUTH_TOKEN_ENV",
     "Backoff",
     "Broker",
     "CACHE_SCHEMA",
@@ -91,6 +94,7 @@ __all__ = [
     "RunnerStats",
     "WorkerStats",
     "accuracy_job",
+    "authenticate",
     "census_job",
     "completions",
     "default_backend",

@@ -15,15 +15,17 @@ backend uses::
                           ├ ResultCache publication (exactly-once)
                           └ advisory claim-file mirror (`cache stats --watch`)
 
-Wire protocol (``ltp-remote/2``; v1 frames are still accepted, and
-replies echo the requester's version): one frame per message — the
-4-byte magic ``LTPW``, a version byte, a big-endian u32 payload
+Wire protocol (``ltp-remote/3``; v1/v2 frames are still accepted,
+and replies echo the requester's version): one frame per message —
+the 4-byte magic ``LTPW``, a version byte, a big-endian u32 payload
 length, then the pickled message dict — request/reply over a
 persistent connection. Messages: ``hello``/``welcome``,
 ``lease``/``specs``, ``result``, ``error``, ``heartbeat``, ``bye``,
 the serve-mode v2 frames ``submit``/``grid-poll``/``grid-results``/
-``grid-done``, and — when trace shipping is on —
-``trace-fetch``/``trace``. Workers execute leased specs with
+``grid-done``, the multi-tenant v3 frames ``auth``/``challenge``
+(HMAC handshake), ``drain`` (graceful worker retirement), and
+``busy`` (per-client quota backpressure), and — when trace shipping
+is on — ``trace-fetch``/``trace``. Workers execute leased specs with
 :func:`repro.runner.runner.execute_spec` plus their local trace cache,
 and stream pickled reports back for the broker to publish. Report
 payloads travel through the broker-advertised codec
@@ -76,7 +78,7 @@ like cooperative runs.
 **Serve mode** (``Broker(persistent=True)``, wrapped by
 :class:`repro.fleet.FleetService` / ``repro serve``) lifts the
 one-grid lifetime: the broker starts with an empty lease table, stays
-up across grids, and grows protocol v2's submission frames —
+up across grids, and grows the protocol's submission frames (v2) —
 ``submit`` enqueues a whole JobSpec grid (a *namespace* over the
 fleet-wide deduplicated key space), ``grid-poll`` streams that grid's
 results back to its submitting client (``grid-results`` batches, then
@@ -90,10 +92,12 @@ whole ``run-all`` can ride an already-running service.
 from __future__ import annotations
 
 import hashlib
+import hmac
 import multiprocessing
 import os
 import pickle
 import queue
+import secrets
 import socket
 import socketserver
 import struct
@@ -116,12 +120,16 @@ from repro.workloads import TraceCache, cached_build, get_workload, trace_key
 #: frame header: magic, protocol version, payload length
 MAGIC = b"LTPW"
 #: version this side emits; v2 added the serve-mode frames (submit /
-#: grid-poll / grid-results / grid-done) and welcome trace offers
-PROTOCOL_VERSION = 2
-#: versions this side accepts — v1 peers' frames decode unchanged (the
-#: v2 additions are new message types and optional keys, not layout
-#: changes), so an old worker can still lease from a new broker
-ACCEPTED_VERSIONS = frozenset({1, PROTOCOL_VERSION})
+#: grid-poll / grid-results / grid-done) and welcome trace offers;
+#: v3 added the multi-tenant frames (auth / challenge handshake,
+#: drain, busy) plus the optional submit ``priority`` key
+PROTOCOL_VERSION = 3
+#: versions this side accepts — v1/v2 peers' frames decode unchanged
+#: (the v2/v3 additions are new message types and optional keys, not
+#: layout changes), so an old worker can still lease from a new
+#: broker — unless the broker requires auth, which pre-v3 peers
+#: cannot speak
+ACCEPTED_VERSIONS = frozenset({1, 2, PROTOCOL_VERSION})
 _HEADER = struct.Struct("!4sBI")
 
 #: refuse frames beyond this size — a garbage header read as a huge
@@ -143,6 +151,11 @@ _TRACE_BUDGET = MAX_FRAME - 65536
 
 #: seconds without a heartbeat before a worker's lease is reassigned
 DEFAULT_LEASE_TTL = 30.0
+
+#: environment fallback for the shared wire-auth secret (the CLI's
+#: --auth-token flags default to it, so a token never has to appear
+#: on a command line)
+AUTH_TOKEN_ENV = "REPRO_AUTH_TOKEN"
 
 PENDING = "pending"
 LEASED = "leased"
@@ -262,6 +275,48 @@ def _request(stream, message: dict) -> dict:
     return reply
 
 
+# -- wire auth ---------------------------------------------------------
+
+
+def auth_mac(token: str, nonce: str) -> str:
+    """The handshake response: HMAC-SHA256 of the broker's nonce
+    under the shared secret, hex-encoded. The token itself never
+    travels on the wire."""
+    return hmac.new(
+        token.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+
+
+def authenticate(stream, token: str, name: str = "?") -> None:
+    """Run the v3 HMAC challenge/response handshake on ``stream``.
+
+    Two round trips: a bare ``auth`` frame fetches a per-connection
+    ``challenge`` nonce, then a second ``auth`` frame carries
+    ``mac = HMAC-SHA256(token, nonce)``. A broker that does not
+    require auth acknowledges the first frame directly
+    (``authenticated: True``) and the handshake ends early, so
+    clients configured with a token interoperate with open brokers.
+    Raises :class:`ProtocolError` on rejection.
+    """
+    first = _request(stream, {"type": "auth", "worker": name})
+    if first.get("authenticated"):
+        return  # open broker: no challenge required
+    if first.get("type") != "challenge":
+        raise ProtocolError(
+            f"broker did not challenge: {first.get('message', first)!r}"
+        )
+    reply = _request(stream, {
+        "type": "auth",
+        "worker": name,
+        "mac": auth_mac(token, str(first.get("nonce", ""))),
+    })
+    if not reply.get("authenticated"):
+        raise ProtocolError(
+            "authentication rejected: "
+            f"{reply.get('message', reply)!r}"
+        )
+
+
 # -- lease ledger ------------------------------------------------------
 
 
@@ -271,6 +326,13 @@ class LeaseInfo:
     expires: float
 
 
+#: group tag for keys admitted without one (per-grid brokers, the
+#: constructor's initial key set): scheduling degenerates to pure
+#: insertion order when it is the only group, byte-identical to the
+#: pre-fair-share grant order
+DEFAULT_GROUP = ""
+
+
 class LeaseTable:
     """In-memory exactly-once lease ledger with an injectable clock.
 
@@ -278,8 +340,20 @@ class LeaseTable:
     ``max_attempts`` reported errors). A lease not heartbeaten within
     ``ttl`` seconds is reclaimed by :meth:`expire` — which every
     :meth:`lease` call runs first, so a polling worker is all it takes
-    to reassign a dead peer's specs. Grants are made in original key
-    order, deterministically.
+    to reassign a dead peer's specs.
+
+    **Fair-share scheduling**: every key belongs to a *group* (a
+    submitted grid's id; :attr:`DEFAULT_GROUP` when untagged) with an
+    integer priority. :meth:`lease` grants round-robin across groups
+    that have pending keys — up to ``priority`` consecutive grants
+    per group per rotation, insertion order within a group, rotation
+    resuming after the last-granted group — so one huge grid cannot
+    starve a small one: over any window of ``sum(priorities)``
+    consecutive grants, every group with pending keys receives at
+    least its ``priority`` of them. With a single group this is
+    exactly the original insertion-order grant, which is what keeps
+    backend-conformance byte-identity intact. All tie-breaks are by
+    admission order, so the schedule is deterministic.
     """
 
     def __init__(
@@ -299,19 +373,45 @@ class LeaseTable:
         self.errors: Dict[str, str] = {}
         #: expired leases reclaimed for reassignment, cumulative
         self.reclaimed = 0
+        #: keys reclaimed by expire() since the last drain_reclaimed()
+        #: — the broker reads this after lease() so no reclaim (not
+        #: even one from lease()'s internal expire) can slip past its
+        #: mirror-claim release
+        self._reclaim_pending: Set[str] = set()
+        #: admission-ordered group -> priority (weight per rotation)
+        self._groups: Dict[str, int] = {DEFAULT_GROUP: 1}
+        #: key -> group; a key keeps the group it was first admitted
+        #: under (later grids sharing the key ride its result anyway)
+        self._group_of: Dict[str, str] = {
+            key: DEFAULT_GROUP for key in self._state
+        }
+        #: group granted from most recently — the rotation resumes
+        #: after it, so fairness holds across lease() calls
+        self._rr_last: Optional[str] = None
 
     def states(self) -> Dict[str, str]:
         return dict(self._state)
 
-    def extend(self, keys: Iterable[str]) -> int:
+    def extend(
+        self,
+        keys: Iterable[str],
+        group: str = DEFAULT_GROUP,
+        priority: int = 1,
+    ) -> int:
         """Admit new pending keys mid-flight (how a serve-mode broker
-        enqueues a submitted grid into the live table). Keys already
-        tracked — whatever their state — are left untouched; returns
-        how many were new."""
+        enqueues a submitted grid into the live table), tagged with
+        the submitting grid's ``group`` and scheduling ``priority``.
+        Keys already tracked — whatever their state — are left
+        untouched and keep their original group; returns how many
+        were new."""
+        priority = max(1, int(priority))
+        if group not in self._groups:
+            self._groups[group] = priority
         added = 0
         for key in keys:
             if key not in self._state:
                 self._state[key] = PENDING
+                self._group_of[key] = group
                 added += 1
         return added
 
@@ -352,7 +452,10 @@ class LeaseTable:
         """Reclaim every lease *strictly* past its expiry; returns the
         keys. The boundary matches the claim files' staleness rule
         (:meth:`repro.runner.claims.ClaimStore.is_live`): a lease at
-        exactly ``ttl`` seconds is still live."""
+        exactly ``ttl`` seconds is still live. Reclaimed keys are
+        also accumulated for :meth:`drain_reclaimed`, so a caller
+        that cannot see this call (it may run inside :meth:`lease`)
+        still learns about every reclaim."""
         now = self.clock()
         reclaimed = []
         for key, info in list(self._leases.items()):
@@ -362,23 +465,62 @@ class LeaseTable:
                     self._state[key] = PENDING
                     reclaimed.append(key)
         self.reclaimed += len(reclaimed)
+        self._reclaim_pending.update(reclaimed)
         return reclaimed
+
+    def drain_reclaimed(self) -> List[str]:
+        """Every key reclaimed by :meth:`expire` since the last call,
+        sorted. :meth:`lease` expires internally, so a broker that
+        called only ``lease()`` would otherwise miss those reclaims
+        and leak their advisory mirror claims — reading this buffer
+        right after ``lease()`` (under the same lock) is the complete
+        picture."""
+        drained = sorted(self._reclaim_pending)
+        self._reclaim_pending.clear()
+        return drained
 
     def lease(self, owner: str, max_n: int = 1) -> List[str]:
         """Grant ``owner`` up to ``max_n`` pending keys (expired leases
-        are reclaimed first, so dead peers' work is reassigned here)."""
+        are reclaimed first, so dead peers' work is reassigned here).
+
+        Grants rotate fairly across groups — see the class docstring;
+        a single-group table grants in pure insertion order.
+        """
         self.expire()
         now = self.clock()
         granted: List[str] = []
+        pending: Dict[str, List[str]] = {}
         for key, state in self._state.items():
-            if len(granted) >= max_n:
-                break
             if state == PENDING:
-                self._state[key] = LEASED
-                self._leases[key] = LeaseInfo(
-                    owner=owner, expires=now + self.ttl
-                )
-                granted.append(key)
+                group = self._group_of.get(key, DEFAULT_GROUP)
+                pending.setdefault(group, []).append(key)
+        if not pending:
+            return granted
+        # rotation order: admission order, resumed after the group
+        # that received the most recent grant
+        ranked = list(self._groups)
+        if self._rr_last in self._groups:
+            pivot = ranked.index(self._rr_last)
+            ranked = ranked[pivot + 1:] + ranked[: pivot + 1]
+        order = [g for g in ranked if g in pending]
+        buckets = {g: deque(pending[g]) for g in order}
+        while order and len(granted) < max_n:
+            for group in list(order):
+                quota = max(1, self._groups.get(group, 1))
+                bucket = buckets[group]
+                while quota and bucket and len(granted) < max_n:
+                    key = bucket.popleft()
+                    self._state[key] = LEASED
+                    self._leases[key] = LeaseInfo(
+                        owner=owner, expires=now + self.ttl
+                    )
+                    granted.append(key)
+                    self._rr_last = group
+                    quota -= 1
+                if not bucket:
+                    order.remove(group)
+                if len(granted) >= max_n:
+                    break
         return granted
 
     def heartbeat(self, owner: str, keys: Iterable[str]) -> int:
@@ -406,17 +548,27 @@ class LeaseTable:
     def fail(self, key: str, owner: str, message: str) -> bool:
         """Record a failed attempt; True once permanently failed.
 
-        Like :meth:`heartbeat` and :meth:`release`, owner-checked: an
-        error reported by a worker whose lease was already reassigned
-        is ignored — the live owner's attempt is still in flight and
-        must be neither revoked nor counted against the spec.
+        Like :meth:`heartbeat` and :meth:`release`, owner-checked —
+        and the check demands a *live* owner-matched lease: an error
+        reported by a worker whose lease was reassigned, expired, or
+        already reclaimed is ignored entirely. A dead-then-resurrected
+        worker's stale error must neither burn the spec's attempt
+        budget nor permanently FAIL a spec another worker is about to
+        run; an expired-but-unreclaimed lease is left for
+        :meth:`expire` to return to PENDING. The liveness boundary is
+        :meth:`expire`'s: a lease at exactly ``ttl`` seconds old
+        still counts.
         """
         if self._state[key] == DONE:
             return False
         info = self._leases.get(key)
-        if info is not None and info.owner != owner:
+        if (
+            info is None
+            or info.owner != owner
+            or info.expires < self.clock()
+        ):
             return False
-        self._leases.pop(key, None)
+        del self._leases[key]
         attempts = self._attempts.get(key, 0) + 1
         self._attempts[key] = attempts
         if attempts >= self.max_attempts:
@@ -478,6 +630,12 @@ class BrokerStats:
     grids: int = 0
     #: submitted grids fully streamed back to their client
     grids_done: int = 0
+    #: submits bounced with a ``busy`` reply (client over quota)
+    rejected_submits: int = 0
+    #: connections that failed (or never attempted) the auth handshake
+    auth_failures: int = 0
+    #: drain requests accepted for workers
+    drains: int = 0
     workers: Set[str] = field(default_factory=set)
 
 
@@ -545,6 +703,8 @@ class Broker:
         persistent: bool = False,
         results_budget: int = 256 * 1024 * 1024,
         grid_idle_timeout: float = 3600.0,
+        auth_token: Optional[str] = None,
+        max_pending_per_client: Optional[int] = None,
     ) -> None:
         unique = list(dict.fromkeys(specs))
         self.cache = cache
@@ -554,6 +714,18 @@ class Broker:
         self.ship_traces = ship_traces
         self.trace_cache = trace_cache
         self.persistent = persistent
+        #: shared wire-auth secret; None = open broker (no handshake
+        #: required, auth frames acknowledged as already-authenticated)
+        self.auth_token = auth_token
+        #: per-client cap on outstanding (not-yet-resolved) submitted
+        #: specs; a submit that would exceed it bounces with a
+        #: ``busy`` frame carrying a retry-after instead of admitting
+        #: unbounded work. None = no quota.
+        self.max_pending_per_client = max_pending_per_client
+        #: worker names marked for graceful retirement: their next
+        #: lease poll answers done+drain instead of granting, so the
+        #: worker finishes its in-flight batch, says bye, and exits
+        self._draining: Set[str] = set()
         #: serve mode: cap on raw-report bytes held in self.results —
         #: older entries are evicted once they are safely in the
         #: cache, so a long-lived service cannot grow without bound
@@ -656,6 +828,11 @@ class Broker:
 
         class _Handler(socketserver.StreamRequestHandler):
             def handle(self):
+                # per-connection auth state: with a token configured,
+                # every frame before a completed HMAC handshake is
+                # answered by _handle_auth and never dispatched
+                authed = broker.auth_token is None
+                nonce = None
                 while True:
                     try:
                         frame = read_frame_versioned(self.rfile)
@@ -664,13 +841,19 @@ class Broker:
                     if frame is None:
                         break
                     version, message = frame
-                    try:
-                        reply = broker._dispatch(message)
-                    except Exception as exc:  # never kill the thread
-                        reply = {
-                            "type": "error",
-                            "message": f"{type(exc).__name__}: {exc}",
-                        }
+                    close = False
+                    if not authed:
+                        reply, authed, nonce, close = (
+                            broker._handle_auth(message, nonce)
+                        )
+                    else:
+                        try:
+                            reply = broker._dispatch(message)
+                        except Exception as exc:  # never kill the thread
+                            reply = {
+                                "type": "error",
+                                "message": f"{type(exc).__name__}: {exc}",
+                            }
                     try:
                         # reply in the peer's own wire version: a v1
                         # worker must not be answered with v2 frames
@@ -679,6 +862,8 @@ class Broker:
                         )
                         self.wfile.flush()
                     except OSError:
+                        break
+                    if close:
                         break
 
         self._server = _Server(self._listen, _Handler)
@@ -728,12 +913,100 @@ class Broker:
 
     # -- message handling ----------------------------------------------
 
+    def _handle_auth(
+        self, message: Any, nonce: Optional[str]
+    ) -> Tuple[dict, bool, Optional[str], bool]:
+        """One frame on a not-yet-authenticated connection.
+
+        Returns ``(reply, authenticated, nonce, close)``. The only
+        acceptable traffic is the two-step handshake: a bare ``auth``
+        frame draws a fresh ``challenge`` nonce; an ``auth`` frame
+        with a ``mac`` is verified as HMAC-SHA256(token, nonce) in
+        constant time. Anything else — including every ordinary
+        message type — is rejected *before any dispatch* and the
+        connection is closed.
+        """
+        if (
+            isinstance(message, dict)
+            and message.get("type") == "auth"
+        ):
+            mac = message.get("mac")
+            if mac is None:
+                nonce = secrets.token_hex(16)
+                return (
+                    {
+                        "type": "challenge",
+                        "nonce": nonce,
+                        "protocol": PROTOCOL_VERSION,
+                    },
+                    False, nonce, False,
+                )
+            if (
+                nonce is not None
+                and isinstance(mac, str)
+                and hmac.compare_digest(
+                    auth_mac(self.auth_token, nonce), mac
+                )
+            ):
+                return (
+                    {"type": "ok", "authenticated": True},
+                    True, None, False,
+                )
+            with self._lock:
+                self.stats.auth_failures += 1
+            return (
+                {
+                    "type": "error",
+                    "message": "authentication failed: bad token",
+                },
+                False, None, True,
+            )
+        with self._lock:
+            self.stats.auth_failures += 1
+        return (
+            {
+                "type": "error",
+                "message": "authentication required: start with an "
+                           "auth handshake (--auth-token)",
+            },
+            False, None, True,
+        )
+
+    def drain_worker(self, name: str) -> bool:
+        """Mark ``name`` for graceful retirement.
+
+        Its next lease poll gets ``done: True, drain: True`` instead
+        of a grant — the worker finishes whatever batch it is
+        executing, reports every result, releases, and exits with
+        zero stranded leases. The supervisor prefers this over
+        ``terminate()`` when scaling down mid-queue. Idempotent;
+        False only for an empty name.
+        """
+        if not name:
+            return False
+        with self._lock:
+            if name not in self._draining:
+                self._draining.add(name)
+                self.stats.drains += 1
+        return True
+
     def _dispatch(self, message: Any) -> dict:
         if not isinstance(message, dict):
             return {"type": "error", "message": "message must be a dict"}
         self._last_activity = time.monotonic()
         mtype = message.get("type")
         worker = str(message.get("worker", "?"))
+        if mtype == "auth":
+            # open broker (or an already-authenticated connection):
+            # acknowledge so token-configured clients interoperate
+            return {"type": "ok", "authenticated": True}
+        if mtype == "drain":
+            return {
+                "type": "ok",
+                "draining": self.drain_worker(
+                    str(message.get("target", ""))
+                ),
+            }
         if mtype == "hello":
             with self._lock:
                 self.stats.workers.add(worker)
@@ -769,7 +1042,9 @@ class Broker:
             }
         if mtype == "submit":
             return self._handle_submit(
-                str(message.get("client", worker)), message.get("specs")
+                str(message.get("client", worker)),
+                message.get("specs"),
+                message.get("priority", 1),
             )
         if mtype == "grid-poll":
             return self._handle_grid_poll(
@@ -826,8 +1101,29 @@ class Broker:
 
     def _handle_lease(self, worker: str, max_n: int) -> dict:
         with self._lock:
-            reclaimed = self.table.expire()
+            if worker in self._draining:
+                # graceful retirement: no grant, finish-and-exit. The
+                # worker polls only between batches, so it holds no
+                # leases here — release() is a defensive no-op that
+                # guarantees zero stranded leases regardless.
+                self._draining.discard(worker)
+                returned = self.table.release(worker)
+                if self._claims is not None:
+                    for key in returned:
+                        self._claims.release(key)
+                return {
+                    "type": "specs",
+                    "leases": [],
+                    "done": True,
+                    "drain": True,
+                }
+            # lease() expires internally; drain_reclaimed() — read
+            # under the same lock — reports every key that expiry
+            # reclaimed, so none can leak its advisory mirror claim
+            # (a separate expire() here used to race lease()'s
+            # internal one and miss its reclaims)
             keys = self.table.lease(worker, max(1, max_n))
+            reclaimed = self.table.drain_reclaimed()
             self.stats.leases += len(keys)
             if keys:
                 done = False
@@ -866,15 +1162,18 @@ class Broker:
             "wait": self.poll,
         }
 
-    def _handle_submit(self, client: str, specs) -> dict:
+    def _handle_submit(self, client: str, specs, priority=1) -> dict:
         """Admit a whole grid into the live lease table (serve mode).
 
         Each unique spec resolves against, in order: the in-memory
         result map, the attached cache, and — failing both — the lease
-        table, which is extended with the new keys so the fleet starts
-        executing them on its next lease poll. The reply names the
-        grid (``grid-poll`` streams it back) and says how much was
-        already served from cache.
+        table, which is extended with the new keys (tagged with the
+        grid's id and ``priority`` for fair-share scheduling) so the
+        fleet starts executing them on its next lease poll. The reply
+        names the grid (``grid-poll`` streams it back) and says how
+        much was already served from cache. A client already holding
+        ``max_pending_per_client`` outstanding specs gets a ``busy``
+        reply with a ``retry_after`` instead of admission.
         """
         if not isinstance(specs, (list, tuple)) or not specs:
             return {
@@ -885,6 +1184,14 @@ class Broker:
             return {
                 "type": "error",
                 "message": "submit specs must be JobSpec instances",
+            }
+        try:
+            priority = max(1, int(priority))
+        except (TypeError, ValueError):
+            return {
+                "type": "error",
+                "message": f"submit priority must be an integer >= 1, "
+                           f"got {priority!r}",
             }
         self.reap_grids()  # new arrivals sweep vanished clients out
         unique = list(dict.fromkeys(specs))
@@ -923,6 +1230,35 @@ class Broker:
                     continue  # absent or corrupt entry: a miss
                 sized[key] = (value, len(raw) + _ENTRY_SLACK)
         with self._lock:
+            if self.max_pending_per_client is not None:
+                # quota check under the same lock as admission: the
+                # prospective outstanding count uses the exact
+                # predicate the admission loop applies below
+                incoming = sum(
+                    1
+                    for key, _ in keyed
+                    if key not in self.results and key not in sized
+                )
+                held = sum(
+                    len(g.outstanding)
+                    for g in self._grids.values()
+                    if g.client == client
+                )
+                if held + incoming > self.max_pending_per_client:
+                    self.stats.rejected_submits += 1
+                    return {
+                        "type": "busy",
+                        "retry_after": max(1.0, self.poll * 10),
+                        "outstanding": held,
+                        "submitted": incoming,
+                        "limit": self.max_pending_per_client,
+                        "message": (
+                            f"client {client!r} would hold "
+                            f"{held + incoming} outstanding specs "
+                            f"(quota {self.max_pending_per_client}) "
+                            "— retry after the backlog drains"
+                        ),
+                    }
             gid = f"g{self._grid_seq}"
             self._grid_seq += 1
             grid = GridState(
@@ -981,7 +1317,7 @@ class Broker:
                         # executing it again — deterministic, so the
                         # re-run is byte-identical
                         self.table.requeue(key)
-            self.table.extend(new_keys)
+            self.table.extend(new_keys, group=gid, priority=priority)
             self.stats.specs += len(new_keys)
             self.stats.grids += 1
             self._grids[gid] = grid
@@ -1446,6 +1782,9 @@ class WorkerStats:
     trace_fallbacks: int = 0
     #: packed trace bytes received over the wire
     trace_bytes: int = 0
+    #: True when the broker retired this worker with a drain frame
+    #: (graceful scale-down) rather than the grid/service finishing
+    drained: bool = False
 
 
 def _verify_trace_blob(key: str, reply: Any) -> Optional[ProgramSet]:
@@ -1568,6 +1907,7 @@ def run_worker(
     fetch_traces: bool = True,
     trace_codec: str = "none",
     engine: Optional[str] = None,
+    auth_token: Optional[str] = None,
 ) -> WorkerStats:
     """Connect to a broker, execute leased specs until the grid is done.
 
@@ -1580,8 +1920,12 @@ def run_worker(
     connection so long simulations stay leased. When the broker offers
     trace shipping (and ``fetch_traces`` is left on), cold traces are
     fetched as verified compressed blobs instead of rebuilt locally.
-    Raises :class:`ProtocolError`/``OSError`` when the broker
-    vanishes.
+    With ``auth_token`` set, both connections run the v3 HMAC
+    handshake before any other frame (required against an
+    authenticated broker; harmless against an open one). A broker
+    drain retires the worker cleanly between batches
+    (``stats.drained``). Raises :class:`ProtocolError`/``OSError``
+    when the broker vanishes.
     """
     worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
     stats = WorkerStats(name=worker_name)
@@ -1608,6 +1952,10 @@ def run_worker(
             return
         hb_stream = hb_sock.makefile("rwb")
         try:
+            if auth_token:
+                # the second connection authenticates independently:
+                # broker auth state is per-connection, not per-worker
+                authenticate(hb_stream, auth_token, worker_name)
             while not stop.wait(max(0.05, ttl / 4.0)):
                 with held_lock:
                     keys = sorted(held)
@@ -1629,12 +1977,21 @@ def run_worker(
     try:
         sock = socket.create_connection(tuple(address))
         stream = sock.makefile("rwb")
+        if auth_token:
+            authenticate(stream, auth_token, worker_name)
         welcome = _request(stream, {
             "type": "hello",
             "worker": worker_name,
             "host": socket.gethostname(),
             "pid": os.getpid(),
         })
+        if welcome.get("type") != "welcome":
+            # e.g. an authenticated broker refusing an un-tokened
+            # worker: surface the broker's message, not a hang
+            raise ProtocolError(
+                "broker refused hello: "
+                f"{welcome.get('message', welcome)!r}"
+            )
         ttl = float(welcome.get("lease_ttl", DEFAULT_LEASE_TTL))
         ship = fetch_traces and bool(welcome.get("ship_traces"))
         try:
@@ -1662,6 +2019,7 @@ def run_worker(
             leases = reply.get("leases", [])
             if not leases:
                 if reply.get("done"):
+                    stats.drained = bool(reply.get("drain"))
                     break
                 time.sleep(float(reply.get("wait", 0.5)))
                 continue
@@ -1760,6 +2118,7 @@ class GridClient:
         address: Tuple[str, int],
         name: Optional[str] = None,
         request_timeout: Optional[float] = 300.0,
+        auth_token: Optional[str] = None,
     ) -> None:
         self.name = (
             name or f"client-{socket.gethostname()}-{os.getpid()}"
@@ -1775,22 +2134,62 @@ class GridClient:
         # every broker-side cache hit before answering.
         self._sock.settimeout(request_timeout)
         self._stream = self._sock.makefile("rwb")
+        if auth_token:
+            authenticate(self._stream, auth_token, self.name)
         self.grid: Optional[str] = None
         self.specs = 0
         self.cached = 0
 
-    def submit(self, specs: Iterable[JobSpec]) -> dict:
+    def submit(
+        self,
+        specs: Iterable[JobSpec],
+        priority: int = 1,
+        quota_wait: Optional[float] = 60.0,
+    ) -> dict:
         """Enqueue a grid; returns the broker's ``grid`` reply (grid
-        id, unique spec count, broker-side cache hits)."""
-        reply = _request(self._stream, {
+        id, unique spec count, broker-side cache hits).
+
+        ``priority`` weights this grid's share of the fleet (fair-share
+        round-robin grants up to ``priority`` specs per rotation). A
+        ``busy`` reply — the broker's per-client quota backpressure —
+        is retried after its advertised ``retry_after`` for up to
+        ``quota_wait`` seconds (``None`` = keep retrying forever),
+        then surfaced as :class:`RemoteExecutionError`.
+        """
+        specs = list(specs)
+        message = {
             "type": "submit",
             "client": self.name,
-            "specs": list(specs),
-        })
-        if reply.get("type") != "grid":
-            raise ProtocolError(
-                f"submit rejected: {reply.get('message', reply)!r}"
-            )
+            "specs": specs,
+        }
+        if priority != 1:
+            # optional key: v2 brokers never see it (they ignore
+            # unknown keys anyway), v3 brokers weight the grid
+            message["priority"] = int(priority)
+        deadline = (
+            None if quota_wait is None
+            else time.monotonic() + quota_wait
+        )
+        while True:
+            reply = _request(self._stream, message)
+            if reply.get("type") == "busy":
+                wait = max(0.05, float(reply.get("retry_after", 1.0)))
+                if (
+                    deadline is not None
+                    and time.monotonic() + wait > deadline
+                ):
+                    raise RemoteExecutionError(
+                        "serve broker held the client over quota for "
+                        f"{quota_wait:g}s: "
+                        f"{reply.get('message', reply)!r}"
+                    )
+                time.sleep(wait)
+                continue
+            if reply.get("type") != "grid":
+                raise ProtocolError(
+                    f"submit rejected: {reply.get('message', reply)!r}"
+                )
+            break
         self.grid = reply["grid"]
         self.specs = int(reply.get("specs", 0))
         self.cached = int(reply.get("cached", 0))
@@ -1878,11 +2277,15 @@ def submit_grid(
     specs: Iterable[JobSpec],
     timeout: Optional[float] = None,
     name: Optional[str] = None,
+    priority: int = 1,
+    auth_token: Optional[str] = None,
 ) -> Dict[JobSpec, Any]:
     """One-shot convenience: submit ``specs`` to a serve-mode broker
     and collect the whole grid as ``spec -> report``."""
-    with GridClient(address, name=name) as client:
-        client.submit(specs)
+    with GridClient(
+        address, name=name, auth_token=auth_token
+    ) as client:
+        client.submit(specs, priority=priority)
         return dict(client.stream(timeout=timeout))
 
 
@@ -1917,6 +2320,9 @@ class RemoteBackend(ExecutionBackend):
             submits the miss grid there and streams the results back
             (``publishes`` then flips off, so this runner's own cache
             still records them locally).
+        auth_token: shared wire-auth secret — enforced by the broker
+            this backend starts, or presented to the serve broker it
+            attaches to (and to the local workers it forks).
         warn: callback for operator warnings (e.g. a 0-worker broker
             waiting on external fleets).
     """
@@ -1933,6 +2339,7 @@ class RemoteBackend(ExecutionBackend):
     codec: str = "none"
     wait_workers_timeout: Optional[float] = None
     attach: Optional[Tuple[str, int]] = None
+    auth_token: Optional[str] = None
     announce: Optional[Callable[[str], None]] = field(
         default=None, repr=False, compare=False
     )
@@ -1968,6 +2375,7 @@ class RemoteBackend(ExecutionBackend):
             ship_traces=self.ship_traces,
             codec=self.codec,
             trace_cache=runner.trace_cache,
+            auth_token=self.auth_token,
         )
         self.broker = broker
         host, port = broker.bind()
@@ -1997,6 +2405,7 @@ class RemoteBackend(ExecutionBackend):
                         trace_root=_trace_root(runner),
                         name=f"local-{index}-{os.getpid()}",
                         trace_codec=_trace_codec(runner),
+                        auth_token=self.auth_token,
                     ),
                     daemon=True,
                 )
@@ -2026,7 +2435,9 @@ class RemoteBackend(ExecutionBackend):
         if self.announce is not None:
             self.announce(f"{host}:{port}")
         client = GridClient(
-            (host, port), name=f"attach-{os.getpid()}"
+            (host, port),
+            name=f"attach-{os.getpid()}",
+            auth_token=self.auth_token,
         )
         try:
             client.submit(specs)

@@ -557,6 +557,347 @@ class _RawClient:
         self.sock.close()
 
 
+class TestFairShare:
+    def test_two_tenants_share_the_fleet_without_starvation(
+        self, tmp_path, golden
+    ):
+        """Two concurrent grids on one serve broker: both finish
+        byte-identical to inline, and while both have pending work
+        the lease scheduler strictly alternates between them — the
+        large grid cannot starve the small one."""
+        with _service(tmp_path) as service:
+            table = service.broker.table
+            grants = []
+            orig_lease = table.lease
+
+            def recording_lease(owner, max_n=1):
+                granted = orig_lease(owner, max_n)
+                grants.extend(granted)
+                return granted
+
+            table.lease = recording_lease
+            tenant_a = GridClient(service.address, name="tenant-a")
+            tenant_b = GridClient(service.address, name="tenant-b")
+            try:
+                # both grids are queued before any worker can lease:
+                # submits are two wire round trips, worker fork is
+                # slower — but the fairness walk below does not
+                # depend on that ordering either way
+                tenant_a.submit(_grid_a())
+                tenant_b.submit(_grid_b())
+                # grants before this point predate tenant B's
+                # admission and are exempt from the alternation bound
+                preamble = len(grants)
+                got_a = {
+                    spec.canonical(): _digest(value)
+                    for spec, value in tenant_a.stream(timeout=240)
+                }
+                got_b = {
+                    spec.canonical(): _digest(value)
+                    for spec, value in tenant_b.stream(timeout=240)
+                }
+            finally:
+                tenant_a.close()
+                tenant_b.close()
+
+            assert got_a == {
+                spec.canonical(): golden[spec.canonical()]
+                for spec in _grid_a()
+            }
+            assert got_b == {
+                spec.canonical(): golden[spec.canonical()]
+                for spec in _grid_b()
+            }
+
+            # starvation bound: replay the grant log against the
+            # group tags; while both grids still had pending keys,
+            # consecutive grants never go to the same grid twice
+            group_of = dict(table._group_of)
+            groups = sorted({group_of[key] for key in grants})
+            assert len(groups) == 2  # two tenants, two groups
+            remaining = {
+                group: sum(
+                    1 for g in group_of.values() if g == group
+                )
+                for group in groups
+            }
+            previous = None
+            for index, key in enumerate(grants):
+                group = group_of[key]
+                both_live = all(n > 0 for n in remaining.values())
+                if (
+                    both_live
+                    and previous is not None
+                    and index >= preamble
+                ):
+                    assert group != previous, (
+                        f"two consecutive grants to {group} while "
+                        "the other tenant had pending work"
+                    )
+                remaining[group] -= 1
+                previous = group
+
+
+class TestGracefulDrain:
+    def test_drained_worker_exits_clean_with_zero_stranded_leases(
+        self, tmp_path
+    ):
+        """A worker drained mid-queue finishes its in-flight batch,
+        exits 0 holding no leases, and the queue still drains."""
+        import threading
+
+        specs = _grid_a()
+        broker = Broker(
+            (), cache=ResultCache(tmp_path), persistent=True,
+            poll=0.02,
+        )
+        address = broker.start()
+        stats_box = {}
+
+        def run(name):
+            stats_box[name] = run_worker(address=address, name=name)
+
+        victim = threading.Thread(
+            target=run, args=("victim",), daemon=True
+        )
+        try:
+            with GridClient(address) as client:
+                client.submit(specs)
+                victim.start()
+                # let the victim get at least one spec done so the
+                # drain lands mid-queue, not pre-first-lease
+                deadline = time.monotonic() + 240
+                while (
+                    time.monotonic() < deadline
+                    and broker.stats.results < 1
+                ):
+                    time.sleep(0.01)
+                assert broker.stats.results >= 1
+                assert broker.drain_worker("victim") is True
+                victim.join(timeout=240)
+                assert not victim.is_alive()
+                assert stats_box["victim"].drained
+                assert broker.stats.drains == 1
+                # zero stranded leases: nothing in the table still
+                # names the drained worker as owner
+                with broker._lock:
+                    owners = {
+                        info.owner
+                        for info in broker.table._leases.values()
+                    }
+                assert "victim" not in owners
+                # the rest of the queue drains via a relief worker
+                relief = threading.Thread(
+                    target=run, args=("relief",), daemon=True
+                )
+                relief.start()
+                results = dict(client.stream(timeout=240))
+            assert len(results) == len(specs)
+            # drained + relief executions cover the grid exactly once
+            assert broker.stats.results == len(specs)
+        finally:
+            broker.stop()
+
+    def test_drain_frame_on_the_wire(self, tmp_path):
+        """The v3 `drain` frame marks a named worker for retirement
+        (idempotently) without touching anything else."""
+        broker = Broker(
+            (), cache=ResultCache(tmp_path), persistent=True,
+            poll=0.02,
+        )
+        address = broker.start()
+        try:
+            raw = _RawClient(address)
+            reply = raw.request({"type": "drain", "target": "w1"})
+            assert reply == {"type": "ok", "draining": True}
+            again = raw.request({"type": "drain", "target": "w1"})
+            assert again["draining"] is True
+            assert broker.stats.drains == 1  # idempotent
+            bad = raw.request({"type": "drain", "target": ""})
+            assert bad["draining"] is False
+            raw.close()
+        finally:
+            broker.stop()
+
+
+class TestWireAuth:
+    TOKEN = "s3kr1t-fleet-token"
+
+    def _broker(self, tmp_path, **kwargs):
+        broker = Broker(
+            (), cache=ResultCache(tmp_path), persistent=True,
+            poll=0.02, **kwargs,
+        )
+        return broker, broker.start()
+
+    def test_bad_token_client_is_rejected_before_dispatch(
+        self, tmp_path
+    ):
+        broker, address = self._broker(
+            tmp_path, auth_token=self.TOKEN
+        )
+        try:
+            with pytest.raises(
+                remote_mod.ProtocolError, match="auth"
+            ):
+                GridClient(
+                    address, auth_token="wrong-token", name="evil"
+                )
+            assert broker.stats.specs == 0
+            assert broker.stats.auth_failures >= 1
+        finally:
+            broker.stop()
+
+    def test_unauthenticated_frames_are_refused_and_closed(
+        self, tmp_path
+    ):
+        broker, address = self._broker(
+            tmp_path, auth_token=self.TOKEN
+        )
+        try:
+            raw = _RawClient(address)
+            reply = raw.request({
+                "type": "submit", "client": "evil",
+                "specs": [census_job("em3d", SIZE)],
+            })
+            assert reply["type"] == "error"
+            assert "auth" in reply["message"]
+            # nothing was admitted, and the connection is closed
+            assert broker.stats.specs == 0
+            assert broker.stats.grids == 0
+            with pytest.raises((OSError, remote_mod.ProtocolError)):
+                raw.request({"type": "hello", "worker": "evil"})
+            raw.close()
+        finally:
+            broker.stop()
+
+    def test_authenticated_submit_and_worker_round_trip(
+        self, tmp_path
+    ):
+        import threading
+
+        broker, address = self._broker(
+            tmp_path, auth_token=self.TOKEN
+        )
+        specs = [census_job("em3d", SIZE)]
+        worker = threading.Thread(
+            target=run_worker,
+            kwargs=dict(
+                address=address, name="w", auth_token=self.TOKEN
+            ),
+            daemon=True,
+        )
+        try:
+            with GridClient(
+                address, auth_token=self.TOKEN
+            ) as client:
+                client.submit(specs)
+                worker.start()
+                results = dict(client.stream(timeout=240))
+            assert len(results) == len(specs)
+            assert broker.stats.auth_failures == 0
+        finally:
+            broker.stop()
+            worker.join(timeout=30)
+
+    def test_token_bearing_client_interops_with_open_broker(
+        self, tmp_path
+    ):
+        """A client configured with a token must still work against
+        a broker that never enabled auth (the open broker acks the
+        handshake instead of challenging)."""
+        broker, address = self._broker(tmp_path)  # no auth_token
+        try:
+            with GridClient(
+                address, auth_token=self.TOKEN
+            ) as client:
+                reply = client.submit([census_job("em3d", SIZE)])
+                assert reply["type"] == "grid"
+        finally:
+            broker.stop()
+
+
+class TestSubmitQuota:
+    def test_over_quota_submit_gets_busy_then_admits_after_drain(
+        self, tmp_path
+    ):
+        import threading
+
+        broker = Broker(
+            (), cache=ResultCache(tmp_path), persistent=True,
+            poll=0.02, max_pending_per_client=1,
+        )
+        address = broker.start()
+        try:
+            raw = _RawClient(address)
+            first = raw.request({
+                "type": "submit", "client": "c",
+                "specs": [census_job("em3d", SIZE)],
+            })
+            assert first["type"] == "grid"
+            busy = raw.request({
+                "type": "submit", "client": "c",
+                "specs": [census_job("tomcatv", SIZE)],
+            })
+            assert busy["type"] == "busy"
+            assert busy["retry_after"] > 0
+            assert busy["outstanding"] == 1
+            assert busy["limit"] == 1
+            assert broker.stats.rejected_submits == 1
+            # quotas are per client: another tenant is unaffected
+            other = _RawClient(address)
+            ok = other.request({
+                "type": "submit", "client": "d",
+                "specs": [census_job("tomcatv", SIZE)],
+            })
+            assert ok["type"] == "grid"
+            # once c's backlog drains, the retry admits
+            worker = threading.Thread(
+                target=run_worker,
+                kwargs=dict(address=address, name="w"),
+                daemon=True,
+            )
+            worker.start()
+            deadline = time.monotonic() + 240
+            retry = busy
+            while time.monotonic() < deadline:
+                retry = raw.request({
+                    "type": "submit", "client": "c",
+                    "specs": [census_job("tomcatv", SIZE)],
+                })
+                if retry["type"] != "busy":
+                    break
+                time.sleep(0.05)
+            assert retry["type"] == "grid"
+            raw.close()
+            other.close()
+        finally:
+            broker.stop()
+
+    def test_grid_client_retries_busy_within_quota_wait(
+        self, tmp_path
+    ):
+        """GridClient.submit absorbs transient busy replies and gives
+        up with a clear error once quota_wait expires."""
+        broker = Broker(
+            (), cache=ResultCache(tmp_path), persistent=True,
+            poll=0.02, max_pending_per_client=1,
+        )
+        address = broker.start()
+        try:
+            with GridClient(address, name="c") as client:
+                client.submit([census_job("em3d", SIZE)])
+                with pytest.raises(
+                    RemoteExecutionError, match="quota"
+                ):
+                    client.submit(
+                        [census_job("tomcatv", SIZE)],
+                        quota_wait=0.3,
+                    )
+        finally:
+            broker.stop()
+
+
 class TestWelcomeTraceOffer:
     def test_single_fingerprint_grid_offers_on_welcome(
         self, tmp_path
@@ -701,9 +1042,9 @@ class TestWireCompat:
         with pytest.raises(remote_mod.ProtocolError, match="version"):
             read_frame(io.BytesIO(v9_frame))
 
-    def test_current_version_is_v2(self):
-        assert remote_mod.PROTOCOL_VERSION == 2
-        assert remote_mod.ACCEPTED_VERSIONS == frozenset({1, 2})
+    def test_current_version_is_v3(self):
+        assert remote_mod.PROTOCOL_VERSION == 3
+        assert remote_mod.ACCEPTED_VERSIONS == frozenset({1, 2, 3})
 
     def test_broker_replies_in_the_peers_version(self, tmp_path):
         """A v1 worker rejects v2-stamped frames, so true back-compat
@@ -714,7 +1055,7 @@ class TestWireCompat:
         )
         address = broker.start()
         try:
-            for version in (1, 2):
+            for version in (1, 2, 3):
                 sock = socket.create_connection(address)
                 stream = sock.makefile("rwb")
                 payload = pickle.dumps(

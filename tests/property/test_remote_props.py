@@ -209,12 +209,15 @@ class LeaseMachine(RuleBasedStateMachine):
     )
     def fail(self, key, owner):
         final = self.table.fail(key, owner, "boom")
-        state, key_owner, _, attempts = self.model[key]
-        if state == DONE:
-            assert not final
-            return
-        if state == LEASED and key_owner != owner:
-            # stale error from a worker that lost this lease: ignored
+        state, key_owner, expires, attempts = self.model[key]
+        if (
+            state != LEASED
+            or key_owner != owner
+            or expires < self.now
+        ):
+            # no *live* owner-matched lease: the error is stale
+            # (expired, reassigned, or never held) and must not burn
+            # the spec's attempt budget — the PR-8 fail() bugfix
             assert not final
             return
         attempts += 1
@@ -224,6 +227,17 @@ class LeaseMachine(RuleBasedStateMachine):
         else:
             assert not final
             self.model[key] = (PENDING, None, 0.0, attempts)
+
+    @rule()
+    def expire(self):
+        reclaimed = self.table.expire()
+        expected = []
+        for key in KEYS:
+            state, key_owner, expires, attempts = self.model[key]
+            if state == LEASED and expires < self.now:
+                self.model[key] = (PENDING, None, 0.0, attempts)
+                expected.append(key)
+        assert sorted(reclaimed) == sorted(expected)
 
     @rule(owner=st.sampled_from(OWNERS))
     def release(self, owner):
@@ -257,6 +271,16 @@ class LeaseMachine(RuleBasedStateMachine):
         for key in KEYS:
             if self.model[key][0] == DONE:
                 assert self.table.owner_of(key) is None
+
+    @invariant()
+    def terminal_keys_hold_no_lease_entry(self):
+        # the FAILED-resurrection pin: fail() pops the lease entry
+        # *before* marking FAILED, so a later expire() sweep can
+        # never flip a terminal key back to PENDING
+        for key in KEYS:
+            if self.model[key][0] in (DONE, FAILED):
+                assert self.table.owner_of(key) is None
+                assert self.table.states()[key] == self.model[key][0]
 
     @invariant()
     def at_most_one_owner_per_key(self):
@@ -312,3 +336,155 @@ def test_expiry_reassigns_exactly_the_unheartbeaten(splits, advance):
     else:
         assert not set(w1_keys) & set(regrant)
     assert not set(w2_keys) & set(regrant)
+
+
+# -- lease-table regressions (PR 8) ------------------------------------
+
+
+def test_stale_worker_error_burns_no_attempt_budget():
+    """Regression: ``fail()`` counted an attempt (and could
+    permanently FAIL the spec) when the reporting worker's lease had
+    already *expired* — a dead-then-resurrected worker's stale error
+    poisoned work another worker was about to run."""
+    now = [1_000.0]
+    table = LeaseTable(
+        KEYS, ttl=TTL, clock=lambda: now[0], max_attempts=1
+    )
+    (key,) = table.lease("w1", 1)
+    now[0] += TTL + 1.0  # w1 went silent past the ttl
+    # the resurrected w1 reports an error on its long-dead lease:
+    # with max_attempts=1 the old code FAILED the key permanently
+    assert table.fail(key, "w1", "stale boom") is False
+    assert table.states()[key] == LEASED  # left for expire()
+    # the key is still grantable with its budget intact
+    assert key in table.lease("w2", len(KEYS))
+    assert table.owner_of(key) == "w2"
+
+
+def test_reassigned_key_ignores_previous_owners_error():
+    now = [1_000.0]
+    table = LeaseTable(
+        KEYS, ttl=TTL, clock=lambda: now[0], max_attempts=1
+    )
+    (key,) = table.lease("w1", 1)
+    now[0] += TTL + 1.0
+    assert key in table.lease("w2", len(KEYS))  # reassigned
+    assert table.fail(key, "w1", "stale boom") is False
+    assert table.owner_of(key) == "w2"
+
+
+def test_failed_key_is_never_resurrected_by_expire():
+    """A key FAILED via ``fail()`` holds no lease entry, so a later
+    ``expire()`` sweep can never flip it back to PENDING."""
+    now = [1_000.0]
+    table = LeaseTable(
+        ("k1",), ttl=TTL, clock=lambda: now[0], max_attempts=1
+    )
+    (key,) = table.lease("w1", 1)
+    assert table.fail(key, "w1", "boom") is True  # live lease: final
+    assert table.states()[key] == FAILED
+    assert table.owner_of(key) is None
+    now[0] += 2 * TTL
+    assert table.expire() == []
+    assert table.states()[key] == FAILED
+    assert table.lease("w2", 1) == []
+
+
+def test_lease_internal_expiry_is_visible_via_drain_reclaimed():
+    """Regression: ``lease()`` expires internally, and keys it
+    reclaimed were missing from the broker's ``reclaimed`` list — the
+    advisory mirror claims for those keys leaked as stale claim
+    files. ``drain_reclaimed()`` now reports every reclaim."""
+    now = [1_000.0]
+    table = LeaseTable(KEYS, ttl=TTL, clock=lambda: now[0])
+    w1_keys = table.lease("w1", 2)
+    now[0] += TTL + 1.0
+    granted = table.lease("w2", len(KEYS))
+    assert set(w1_keys) <= set(granted)
+    # the internal expire()'s reclaims are buffered, not lost
+    assert table.drain_reclaimed() == sorted(w1_keys)
+    assert table.drain_reclaimed() == []  # read-once
+
+
+# -- fair-share scheduling ---------------------------------------------
+
+
+def test_priority_weights_the_rotation():
+    now = [1_000.0]
+    table = LeaseTable((), ttl=TTL, clock=lambda: now[0])
+    table.extend(["a1", "a2", "a3", "a4"], group="a", priority=2)
+    table.extend(["b1", "b2", "b3", "b4"], group="b", priority=1)
+    # weighted round-robin: two 'a' grants per 'b' grant
+    assert table.lease("w", 6) == ["a1", "a2", "b1", "a3", "a4", "b2"]
+
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    batches=st.lists(
+        st.integers(min_value=1, max_value=4), min_size=1, max_size=12
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_single_group_lease_order_is_insertion_order(n, batches):
+    """Byte-identity guard: with one group (every per-grid broker,
+    and any serve broker with a single live grid) the fair-share
+    scheduler degenerates to pure insertion order."""
+    keys = [f"k{i}" for i in range(n)]
+    table = LeaseTable(keys, ttl=TTL, clock=lambda: 1_000.0)
+    granted = []
+    for i, batch in enumerate(batches):
+        granted.extend(table.lease(f"w{i}", batch))
+    assert granted == keys[: len(granted)]
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=10),
+        min_size=2,
+        max_size=4,
+    ),
+    priorities=st.lists(
+        st.integers(min_value=1, max_value=3),
+        min_size=4,
+        max_size=4,
+    ),
+    batch=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=80, deadline=None)
+def test_no_group_is_starved(sizes, priorities, batch):
+    """The fairness bound: while a group has pending keys, it never
+    waits through more than ``sum(other groups' priorities)``
+    consecutive grants to other groups before receiving one."""
+    now = [1_000.0]
+    table = LeaseTable((), ttl=TTL, clock=lambda: now[0])
+    groups = {}
+    for g, size in enumerate(sizes):
+        name = f"g{g}"
+        groups[name] = priorities[g % len(priorities)]
+        table.extend(
+            [f"{name}k{i}" for i in range(size)],
+            group=name,
+            priority=groups[name],
+        )
+    pending = {
+        name: sizes[g] for g, name in enumerate(groups)
+    }
+    waited = {name: 0 for name in groups}
+    while sum(pending.values()):
+        granted = table.lease("w", batch)
+        assert granted, "pending keys but nothing granted"
+        for key in granted:
+            name = key.split("k")[0]
+            pending[name] -= 1
+            waited[name] = 0
+            for other in groups:
+                if other != name and pending[other] > 0:
+                    waited[other] += 1
+                    bound = sum(
+                        p for o, p in groups.items() if o != other
+                    )
+                    assert waited[other] <= bound, (
+                        f"{other} starved: waited {waited[other]} "
+                        f"grants (bound {bound})"
+                    )
+            table.complete(key)  # retire it; scheduling is the test

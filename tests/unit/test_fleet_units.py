@@ -102,20 +102,21 @@ class TestQueueDepthPolicy:
         clock.advance(10.0)
         assert policy.decide(_signals(8, live=4)) == 8
 
-    def test_never_shrinks_while_queue_nonempty(self):
-        """Mid-drain scale-down would terminate a worker holding
-        leases (stranding them until ttl expiry) — the fleet only
-        shrinks once the queue is empty."""
+    def test_shrinks_mid_queue_now_that_retirement_drains(self):
+        """Since protocol v3 retirement is a graceful drain (the
+        worker finishes its batch and exits; no leases stranded), so
+        the policy follows the backlog down even while it is
+        non-empty."""
         clock = FakeClock()
         policy = QueueDepthPolicy(
             specs_per_worker=10, max_workers=8, cooldown=0.0,
             clock=clock,
         )
         assert policy.decide(_signals(40, live=0)) == 4
-        # backlog shrank to one chunk: hold at 4, do not drop to 1
-        assert policy.decide(_signals(3, live=4)) == 4
-        # drained: now release the fleet
-        assert policy.decide(_signals(0, live=4)) == 0
+        # backlog shrank to one chunk: follow it down immediately
+        assert policy.decide(_signals(3, live=4)) == 1
+        # drained: release the fleet entirely
+        assert policy.decide(_signals(0, live=1)) == 0
 
     def test_no_change_needs_no_cooldown(self):
         clock = FakeClock()
@@ -349,6 +350,98 @@ class TestWorkerSupervisor:
         sup.stop()
         assert sup.live() == 0
         assert all(p.terminated for p in spawned)
+
+
+class TestWorkerSupervisorDrain:
+    def _supervisor(self, drain_grace=30.0, drain_accepts=True):
+        clock = FakeClock()
+        spawned = []
+        drained = []
+
+        def spawn(name, address):
+            proc = FakeProc(name)
+            spawned.append(proc)
+            return proc
+
+        def drain(name):
+            drained.append(name)
+            return drain_accepts
+
+        sup = WorkerSupervisor(
+            ("127.0.0.1", 1),
+            spawn=spawn,
+            clock=clock,
+            drain=drain,
+            drain_grace=drain_grace,
+        )
+        return sup, spawned, drained, clock
+
+    def test_shrink_prefers_drain_over_terminate(self):
+        sup, spawned, drained, clock = self._supervisor()
+        sup.scale_to(3)
+        assert sup.scale_to(1) == -2
+        # nothing terminated: both victims were asked to drain and
+        # stay alive until their in-flight batch finishes
+        assert not any(p.terminated for p in spawned)
+        assert len(drained) == 2
+        assert sup.live() == 3
+        assert sup.pending_retirement() == 2
+        assert sup.retired == 2
+        # newest drained first (oldest keeps its warm memos)
+        assert drained == [spawned[2].name, spawned[1].name]
+
+    def test_drained_exit_is_solicited_not_a_crash(self):
+        sup, spawned, drained, clock = self._supervisor()
+        sup.scale_to(2)
+        sup.scale_to(1)
+        victim = next(p for p in spawned if p.name == drained[0])
+        victim.die(exitcode=0)
+        # the drain completing must not surface as an exit event —
+        # the controller's crash breaker only counts unsolicited ones
+        assert sup.reap() == []
+        assert sup.live() == 1
+        assert sup.pending_retirement() == 0
+        assert sup.retired == 1  # counted once, at drain time
+
+    def test_drain_deadline_escalates_to_terminate(self):
+        sup, spawned, drained, clock = self._supervisor(
+            drain_grace=10.0
+        )
+        sup.scale_to(2)
+        sup.scale_to(1)
+        victim = next(p for p in spawned if p.name == drained[0])
+        clock.advance(5.0)
+        assert sup.reap() == []  # inside the grace: still draining
+        assert victim.alive
+        clock.advance(6.0)
+        assert sup.reap() == []  # escalation is silent too
+        assert victim.terminated
+        assert sup.pending_retirement() == 0
+        assert sup.retired == 1  # not double-counted on escalation
+
+    def test_drain_refusal_falls_back_to_terminate(self):
+        sup, spawned, drained, clock = self._supervisor(
+            drain_accepts=False
+        )
+        sup.scale_to(2)
+        assert sup.scale_to(1) == -1
+        assert len(drained) == 1  # asked, refused
+        assert sum(p.terminated for p in spawned) == 1
+        assert sup.live() == 1
+        assert sup.pending_retirement() == 0
+
+    def test_scale_counts_draining_workers_as_retired(self):
+        """A worker already draining is committed to leave: asking
+        for the same size again must not drain another one, and a
+        scale-up spawns fresh capacity rather than waiting."""
+        sup, spawned, drained, clock = self._supervisor()
+        sup.scale_to(3)
+        sup.scale_to(1)
+        assert len(drained) == 2
+        sup.scale_to(1)  # idempotent: no third drain
+        assert len(drained) == 2
+        assert sup.scale_to(2) == 1  # spawns; draining pair ignored
+        assert len(spawned) == 4
 
 
 class TestThroughputWindow:
