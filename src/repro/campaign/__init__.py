@@ -1,0 +1,53 @@
+"""Budgeted discovery campaigns over the LTP parameter space.
+
+The paper reports a fixed grid; this package *searches* the space
+around it. A campaign is four orthogonal pieces:
+
+``space``
+    :class:`ParameterSpace` — declarative ranges over JobSpec fields
+    with validity constraints; points are plain dicts.
+``metric``
+    :class:`InterestingnessMetric` — a conjunction of ``repro
+    query`` predicates scored against result rows.
+``driver``
+    :class:`CampaignDriver` — seeded random exploration + depth-first
+    refinement around discoveries, under hard spec / wall-clock
+    budgets, resumable by deterministic replay of a JSON state file.
+``executors``
+    :class:`LocalExecutor` (inline Runner) and
+    :class:`BrokerExecutor` (a ``repro serve`` tenant via
+    :class:`GridClient`).
+
+Surfaced as ``repro campaign run/status/resume``; discoveries are
+tagged in the sqlite :class:`ResultIndex` (``repro query
+--campaign``) and rendered as the HTML report's Discoveries section.
+"""
+
+from repro.campaign.driver import (
+    CampaignDriver,
+    CampaignError,
+    CampaignResult,
+)
+from repro.campaign.executors import BrokerExecutor, LocalExecutor
+from repro.campaign.metric import InterestingnessMetric
+from repro.campaign.space import (
+    ParameterSpace,
+    default_space,
+    point_key,
+    point_spec,
+    space_from_json,
+)
+
+__all__ = [
+    "BrokerExecutor",
+    "CampaignDriver",
+    "CampaignError",
+    "CampaignResult",
+    "InterestingnessMetric",
+    "LocalExecutor",
+    "ParameterSpace",
+    "default_space",
+    "point_key",
+    "point_spec",
+    "space_from_json",
+]

@@ -1,0 +1,307 @@
+"""The budgeted, seeded, resumable campaign driver.
+
+AnICA-style discovery: a seeded random *exploration* pass over the
+valid points of the :class:`ParameterSpace`, with depth-first
+*refinement* around every discovery (an interesting point's untried
+one-dimension neighbors jump the queue), under a hard spec budget
+and an optional wall-clock budget.
+
+Determinism and resume come from one mechanism — **replay**. The
+explored sequence is a pure function of ``(space, seed, outcomes)``:
+the exploration order is a ``random.Random(seed)`` shuffle of the
+space's canonical point list, and refinement insertions depend only
+on which earlier points scored interesting. Every run therefore
+replays the campaign from the beginning; points already recorded in
+the state file are *re-sequenced* from their recorded outcomes
+without executing anything, and execution resumes exactly where the
+previous process stopped — whether it exhausted its budget, hit its
+wall-clock limit, or was killed mid-campaign. A completed campaign
+resumes as a pure no-op re-run.
+
+The state file is plain JSON under the cache directory (written
+atomically after every fresh execution, no timestamps, sorted keys),
+so identical campaigns produce byte-identical state files.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro._fsutil import atomic_write_bytes
+from repro.campaign.metric import InterestingnessMetric
+from repro.campaign.space import (
+    ParameterSpace,
+    point_key,
+    space_from_json,
+)
+
+STATE_VERSION = 1
+
+#: executor contract: point -> select()-shaped row (identity columns
+#: + a ``metrics`` mapping + optionally ``digest``)
+Executor = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+class CampaignError(RuntimeError):
+    """A corrupt, mismatched, or unreadable campaign state file."""
+
+
+@dataclass
+class CampaignResult:
+    """What one ``run()`` observed, in explored order."""
+
+    name: str
+    explored: List[Dict[str, Any]] = field(default_factory=list)
+    budget: int = 0
+    executed: int = 0  # fresh simulations this run (not replayed)
+    stop_reason: str = "budget"
+
+    @property
+    def discoveries(self) -> List[Dict[str, Any]]:
+        return [o for o in self.explored if o["interesting"]]
+
+    @property
+    def spent(self) -> int:
+        return len(self.explored)
+
+
+class CampaignDriver:
+    """Drives one named campaign to (or back to) completion.
+
+    Attributes:
+        space: the parameter space under search.
+        metric: the interestingness conjunction.
+        seed: exploration-shuffle seed; part of campaign identity.
+        budget: hard cap on explored points (replayed + fresh).
+        state_path: JSON state file, or ``None`` for in-memory only.
+        max_seconds: optional wall-clock budget for *fresh*
+            executions this run (replay is free and always finishes).
+        clock: injectable monotonic clock for the wall-clock budget.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        space: ParameterSpace,
+        metric: InterestingnessMetric,
+        seed: int,
+        budget: int,
+        state_path: Optional[Path] = None,
+        max_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget < 1:
+            raise CampaignError(f"budget must be >= 1, got {budget}")
+        self.name = name
+        self.space = space
+        self.metric = metric
+        self.seed = int(seed)
+        self.budget = int(budget)
+        self.state_path = (
+            Path(state_path) if state_path is not None else None
+        )
+        self.max_seconds = max_seconds
+        self.clock = clock
+
+    # -- state file ----------------------------------------------------
+
+    def _state_dict(
+        self, explored: List[Dict[str, Any]], stop_reason: str
+    ) -> Dict[str, Any]:
+        return {
+            "version": STATE_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "budget": self.budget,
+            "space": self.space.to_json(),
+            "metric": self.metric.clauses,
+            "stop_reason": stop_reason,
+            "explored": explored,
+        }
+
+    def _save(
+        self, explored: List[Dict[str, Any]], stop_reason: str
+    ) -> None:
+        if self.state_path is None:
+            return
+        payload = json.dumps(
+            self._state_dict(explored, stop_reason),
+            sort_keys=True,
+            indent=1,
+        ) + "\n"
+        self.state_path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(self.state_path, payload.encode("ascii"))
+
+    def _load_recorded(self) -> Dict[str, Dict[str, Any]]:
+        """Recorded outcomes by point key, after identity checks.
+
+        A state file written for a different seed, space, or metric
+        describes a *different* campaign — replaying its outcomes
+        would silently produce a hybrid sequence, so mismatches are
+        errors, not warnings.
+        """
+        if self.state_path is None or not self.state_path.exists():
+            return {}
+        try:
+            state = json.loads(self.state_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CampaignError(
+                f"unreadable campaign state {self.state_path}: {exc}"
+            ) from exc
+        if state.get("version") != STATE_VERSION:
+            raise CampaignError(
+                f"campaign state version {state.get('version')!r} "
+                f"not supported (want {STATE_VERSION})"
+            )
+        for attr, ours in (
+            ("seed", self.seed),
+            ("metric", self.metric.clauses),
+            ("space", self.space.to_json()),
+        ):
+            theirs = state.get(attr)
+            if theirs != ours:
+                raise CampaignError(
+                    f"campaign state {self.state_path} was written "
+                    f"for a different {attr} ({theirs!r} != "
+                    f"{ours!r}); use a fresh state file"
+                )
+        return {
+            point_key(outcome["point"]): outcome
+            for outcome in state.get("explored", [])
+        }
+
+    @staticmethod
+    def load_state(state_path: Path) -> Dict[str, Any]:
+        """Raw state for ``campaign status``/``resume`` (no driver
+        needed to look)."""
+        try:
+            state = json.loads(Path(state_path).read_text())
+        except (OSError, ValueError) as exc:
+            raise CampaignError(
+                f"unreadable campaign state {state_path}: {exc}"
+            ) from exc
+        if state.get("version") != STATE_VERSION:
+            raise CampaignError(
+                f"campaign state version {state.get('version')!r} "
+                f"not supported (want {STATE_VERSION})"
+            )
+        return state
+
+    @classmethod
+    def from_state(
+        cls,
+        state_path: Path,
+        budget: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "CampaignDriver":
+        """Rebuild the driver a state file was written by (the body
+        of ``campaign resume``). ``budget`` may extend the original —
+        a finished campaign resumed with a larger budget keeps
+        exploring past its old horizon, deterministically."""
+        state = cls.load_state(state_path)
+        return cls(
+            name=state["name"],
+            space=space_from_json(state["space"]),
+            metric=InterestingnessMetric.parse(state["metric"]),
+            seed=state["seed"],
+            budget=budget if budget is not None else state["budget"],
+            state_path=Path(state_path),
+            max_seconds=max_seconds,
+            clock=clock,
+        )
+
+    # -- the campaign --------------------------------------------------
+
+    def exploration_order(self) -> List[Dict[str, Any]]:
+        """The seed-shuffled valid-point sequence (pure function of
+        space + seed; property tests call this directly)."""
+        points = self.space.points()
+        random.Random(self.seed).shuffle(points)
+        return points
+
+    def run(
+        self,
+        execute: Executor,
+        progress: Optional[
+            Callable[[int, int, Dict[str, Any], bool, str], None]
+        ] = None,
+    ) -> CampaignResult:
+        """Replay + continue the campaign under its budgets.
+
+        ``execute`` maps a point to a select()-shaped row; it is only
+        called for points with no recorded outcome. ``progress``
+        receives ``(spent, budget, point, interesting, source)`` with
+        source ``"replay"`` or ``"run"``.
+        """
+        recorded = self._load_recorded()
+        deadline = (
+            None
+            if self.max_seconds is None
+            else self.clock() + self.max_seconds
+        )
+        queue = deque(self.exploration_order())
+        seen = set()
+        explored: List[Dict[str, Any]] = []
+        executed = 0
+        stop_reason = "space-exhausted"
+        while queue:
+            if len(explored) >= self.budget:
+                stop_reason = "budget"
+                break
+            point = queue.popleft()
+            key = point_key(point)
+            if key in seen:
+                continue
+            seen.add(key)
+            prior = recorded.get(key)
+            if prior is not None:
+                outcome = prior
+                source = "replay"
+            else:
+                if deadline is not None and self.clock() >= deadline:
+                    stop_reason = "wall-clock"
+                    break
+                row = execute(point)
+                outcome = {
+                    "point": point,
+                    "interesting": self.metric.interesting(row),
+                    "digest": row.get("digest"),
+                    "metrics": {
+                        name: row.get("metrics", {}).get(name)
+                        for name in self.metric.metric_names
+                        if name in row.get("metrics", {})
+                    },
+                }
+                executed += 1
+                source = "run"
+            explored.append(outcome)
+            if source == "run":
+                # every fresh result lands on disk immediately — a
+                # mid-campaign kill loses at most the in-flight point
+                self._save(explored, "running")
+            if progress is not None:
+                progress(
+                    len(explored), self.budget, point,
+                    outcome["interesting"], source,
+                )
+            if outcome["interesting"]:
+                for neighbor in reversed(
+                    self.space.neighbors(point)
+                ):
+                    if point_key(neighbor) not in seen:
+                        queue.appendleft(neighbor)
+        self._save(explored, stop_reason)
+        return CampaignResult(
+            name=self.name,
+            explored=explored,
+            budget=self.budget,
+            executed=executed,
+            stop_reason=stop_reason,
+        )

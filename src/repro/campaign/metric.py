@@ -1,0 +1,62 @@
+"""Interestingness, compiled from the ``repro query`` predicate
+language.
+
+A campaign's notion of "interesting" is a conjunction of the same
+``NAME OP VALUE`` clauses a ``repro query --where`` takes —
+``accuracy < 0.5``, ``si_timeliness <= 0.2``, ``policy == ltp`` —
+evaluated with :func:`repro.store.query.predicate_matches` against a
+select()-shaped row (identity columns + a ``metrics`` mapping). The
+row comes from the executor's freshly published result, never from
+unpickling blobs, so scoring a point costs nothing beyond the
+simulation that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.store.query import (
+    Predicate,
+    QueryError,
+    parse_predicate,
+    predicate_matches,
+)
+
+
+class InterestingnessMetric:
+    """A conjunction of query predicates scored against result rows."""
+
+    def __init__(self, predicates: Sequence[Predicate]) -> None:
+        if not predicates:
+            raise QueryError(
+                "a campaign needs at least one interestingness "
+                "predicate (e.g. 'accuracy < 0.5')"
+            )
+        self.predicates: Tuple[Predicate, ...] = tuple(predicates)
+
+    @classmethod
+    def parse(cls, clauses: Sequence[str]) -> "InterestingnessMetric":
+        return cls([parse_predicate(text) for text in clauses])
+
+    @property
+    def clauses(self) -> List[str]:
+        """The clause spellings, canonically — state-file form."""
+        return [
+            f"{p.name} {p.op} {p.value}" for p in self.predicates
+        ]
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Names of the metric-typed predicates, in clause order —
+        what the report's scatter plots on its y axis."""
+        return tuple(
+            p.name for p in self.predicates if p.is_metric
+        )
+
+    def interesting(self, row: Dict[str, Any]) -> bool:
+        return all(
+            predicate_matches(row, pred) for pred in self.predicates
+        )
+
+    def describe(self) -> str:
+        return " AND ".join(self.clauses)

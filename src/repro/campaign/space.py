@@ -1,0 +1,243 @@
+"""The searchable parameter space of a discovery campaign.
+
+A :class:`ParameterSpace` is a declarative set of ranges over
+``JobSpec`` fields — each dimension names a spec field and enumerates
+the values a campaign may try — plus a validity constraint that
+prunes combinations the simulator rejects or that are physically
+meaningless (a nonzero ``si_fire_delay`` on an accuracy run, say).
+The space is purely descriptive: points are plain ``{field: value}``
+dicts, so the driver, its state file, and the property tests never
+touch simulator types; :func:`point_spec` is the one place a point
+becomes an executable :class:`~repro.runner.spec.JobSpec`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+from repro.runner.spec import JobSpec, PolicySpec
+
+#: point fields point_spec() knows how to map onto a JobSpec
+SPEC_FIELDS = (
+    "kind", "workload", "size", "policy", "bits", "encoder",
+    "variant", "forwarding", "si_fire_delay",
+)
+
+
+def ltp_delay_constraint(point: Dict[str, Any]) -> bool:
+    """The default space's validity rule: a nonzero fire delay only
+    means anything on a timing run of a policy that actually fires
+    self-invalidations from a prediction."""
+    if int(point.get("si_fire_delay", 0) or 0) == 0:
+        return True
+    return (
+        point.get("kind") == "timing"
+        and point.get("policy") in ("ltp", "ltp-global", "last-pc")
+    )
+
+
+#: named constraints a state file can reference (callables don't
+#: serialise; names do)
+CONSTRAINTS: Dict[str, Callable[[Dict[str, Any]], bool]] = {
+    "ltp-delay": ltp_delay_constraint,
+}
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """Declarative ranges over JobSpec fields, with validity pruning.
+
+    Attributes:
+        dimensions: ordered ``(name, (value, ...))`` pairs; the order
+            fixes both enumeration order and neighbor order, so it is
+            part of a campaign's deterministic identity.
+        constraint: name of a :data:`CONSTRAINTS` entry applied to
+            every candidate point, or ``None`` for no pruning.
+    """
+
+    dimensions: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    constraint: Optional[str] = "ltp-delay"
+
+    def __post_init__(self) -> None:
+        dims = tuple(
+            (str(name), tuple(values))
+            for name, values in (
+                self.dimensions.items()
+                if isinstance(self.dimensions, dict)
+                else self.dimensions
+            )
+        )
+        for name, values in dims:
+            if not values:
+                raise ConfigurationError(
+                    f"dimension {name!r} has no values"
+                )
+        if self.constraint is not None and (
+            self.constraint not in CONSTRAINTS
+        ):
+            raise ConfigurationError(
+                f"unknown constraint {self.constraint!r}; "
+                f"known: {sorted(CONSTRAINTS)}"
+            )
+        object.__setattr__(self, "dimensions", dims)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.dimensions)
+
+    def values(self, name: str) -> Tuple[Any, ...]:
+        for dim, values in self.dimensions:
+            if dim == name:
+                return values
+        raise KeyError(name)
+
+    def _valid(self, point: Dict[str, Any]) -> bool:
+        if self.constraint is None:
+            return True
+        return CONSTRAINTS[self.constraint](point)
+
+    def contains(self, point: Dict[str, Any]) -> bool:
+        """Is ``point`` a valid member of this space?"""
+        if set(point) != set(self.names):
+            return False
+        for name, values in self.dimensions:
+            if point[name] not in values:
+                return False
+        return self._valid(point)
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every valid point, in deterministic product order."""
+        names = self.names
+        out = []
+        for combo in itertools.product(
+            *(values for _, values in self.dimensions)
+        ):
+            point = dict(zip(names, combo))
+            if self._valid(point):
+                out.append(point)
+        return out
+
+    def neighbors(
+        self, point: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        """Valid points differing from ``point`` in exactly one
+        dimension, in deterministic (dimension, value) order — the
+        refinement frontier around a discovery."""
+        out = []
+        for name, values in self.dimensions:
+            for value in values:
+                if value == point.get(name):
+                    continue
+                candidate = dict(point)
+                candidate[name] = value
+                if self.contains(candidate):
+                    out.append(candidate)
+        return out
+
+    def point_key(self, point: Dict[str, Any]) -> str:
+        return point_key(point)
+
+    def to_json(self) -> Dict[str, Any]:
+        """State-file form; :func:`space_from_json` round-trips it."""
+        return {
+            "dimensions": [
+                [name, list(values)]
+                for name, values in self.dimensions
+            ],
+            "constraint": self.constraint,
+        }
+
+
+def space_from_json(data: Dict[str, Any]) -> ParameterSpace:
+    return ParameterSpace(
+        dimensions=tuple(
+            (name, tuple(values))
+            for name, values in data["dimensions"]
+        ),
+        constraint=data.get("constraint"),
+    )
+
+
+def point_key(point: Dict[str, Any]) -> str:
+    """Canonical identity of a point (the state-file dedup key)."""
+    return json.dumps(
+        point, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+#: the demo space the CLI searches by default: the paper's own axes
+#: (predictor vs. baseline policies across Table 2 workloads) crossed
+#: with the self-invalidation fire delay the ablations sweep
+DEFAULT_DIMENSIONS: Tuple[Tuple[str, Tuple[Any, ...]], ...] = (
+    ("kind", ("accuracy", "timing")),
+    ("workload", ("em3d", "tomcatv", "appbt")),
+    ("policy", ("base", "dsi", "ltp")),
+    ("si_fire_delay", (0, 500, 2000)),
+)
+
+
+def default_space(
+    workloads: Optional[Iterable[str]] = None,
+    policies: Optional[Iterable[str]] = None,
+    kinds: Optional[Iterable[str]] = None,
+    delays: Optional[Iterable[int]] = None,
+) -> ParameterSpace:
+    """The default campaign space, with optional per-axis overrides."""
+    overrides = {
+        "workload": workloads,
+        "policy": policies,
+        "kind": kinds,
+        "si_fire_delay": delays,
+    }
+    dims = []
+    for name, values in DEFAULT_DIMENSIONS:
+        chosen = overrides.get(name)
+        dims.append(
+            (name, tuple(chosen) if chosen else values)
+        )
+    return ParameterSpace(
+        dimensions=tuple(dims), constraint="ltp-delay"
+    )
+
+
+def point_spec(point: Dict[str, Any], size: str = "tiny") -> JobSpec:
+    """Instantiate the JobSpec a point denotes.
+
+    ``size`` applies when the space doesn't sweep it — campaigns
+    usually pin the workload size and search the interesting axes.
+    """
+    unknown = set(point) - set(SPEC_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"point fields {sorted(unknown)} do not map onto JobSpec "
+            f"fields {SPEC_FIELDS}"
+        )
+    policy = PolicySpec(
+        name=str(point.get("policy", "ltp")),
+        bits=int(point.get("bits", 30)),
+        encoder=str(point.get("encoder", "trunc-add")),
+    )
+    kind = str(point.get("kind", "timing"))
+    kwargs: Dict[str, Any] = {
+        "kind": kind,
+        "workload": str(point["workload"]),
+        "size": str(point.get("size", size)),
+        "policy": policy,
+        "variant": str(point.get("variant", "invalidate")),
+    }
+    if kind == "timing":
+        kwargs["forwarding"] = bool(point.get("forwarding", False))
+        kwargs["si_fire_delay"] = int(point.get("si_fire_delay", 0))
+    return JobSpec(**kwargs)

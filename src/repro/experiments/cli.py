@@ -588,6 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
              "\"accuracy<0.9\" or \"policy=ltp\"; repeatable (AND)",
     )
     p.add_argument(
+        "--campaign", metavar="NAME", default=None,
+        help="restrict to one campaign's tagged discoveries",
+    )
+    p.add_argument(
         "--format", choices=("table", "csv", "json"),
         default="table", help="output shape (default: table)",
     )
@@ -595,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="return at most N rows",
     )
+    _add_campaign_parser(sub)
     p = sub.add_parser(
         "profile",
         help="run one experiment's timing grid under cProfile and "
@@ -633,6 +638,123 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("workloads", help="print Table 2 workload stats")
     p.add_argument("--size", choices=SIZES, default="small")
     return parser
+
+
+def _add_campaign_parser(sub) -> None:
+    from repro.runner.spec import KINDS
+    from repro.runner.spec import POLICY_NAMES as SPEC_POLICIES
+
+    parser = sub.add_parser(
+        "campaign",
+        help="budgeted discovery campaigns over the parameter space "
+             "(seeded exploration + refinement; see docs/campaigns.md)",
+    )
+    csub = parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _common(p, with_budget=True):
+        p.add_argument(
+            "--cache-dir", metavar="PATH", default=DEFAULT_CACHE_DIR,
+            help=f"cache directory (default: {DEFAULT_CACHE_DIR}); "
+                 "campaign state lives under <cache-dir>/campaigns",
+        )
+        p.add_argument(
+            "--state", metavar="PATH", default=None,
+            help="campaign state file (default: "
+                 "<cache-dir>/campaigns/<name>.json)",
+        )
+        if with_budget:
+            p.add_argument(
+                "--budget", type=int, default=None, metavar="N",
+                help="hard cap on explored points",
+            )
+            p.add_argument(
+                "--max-seconds", type=float, default=None,
+                metavar="S",
+                help="wall-clock budget for fresh executions this "
+                     "run (replay is always free)",
+            )
+            p.add_argument(
+                "--connect", metavar="HOST:PORT", default=None,
+                help="execute on a live `serve` broker instead of "
+                     "the inline backend (the campaign becomes one "
+                     "fair-share tenant)",
+            )
+            p.add_argument(
+                "--timeout", type=float, default=240.0,
+                help="per-point broker wait with --connect "
+                     "(default: 240)",
+            )
+            p.add_argument(
+                "--jobs", type=int, default=1,
+                help="local worker processes without --connect "
+                     "(default: 1)",
+            )
+            _add_auth_token_arg(p)
+
+    p = csub.add_parser(
+        "run", help="start (or continue) a named campaign",
+    )
+    p.add_argument(
+        "--name", metavar="NAME", default=None,
+        help="campaign name — the index tag and default state-file "
+             "stem (default: campaign-seed<SEED>)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="exploration-shuffle seed (default: 0); part of the "
+             "campaign's identity",
+    )
+    p.add_argument(
+        "--where", action="append", default=None, metavar="PRED",
+        help="interestingness predicate NAME OP VALUE (same language "
+             "as `query --where`); repeatable (AND); default: "
+             "\"accuracy < 0.5\"",
+    )
+    p.add_argument("--size", choices=SIZES, default="tiny")
+    p.add_argument(
+        "--workloads", nargs="+", choices=WORKLOAD_NAMES,
+        default=None,
+        help="workload axis override (default: em3d tomcatv appbt)",
+    )
+    p.add_argument(
+        "--policies", nargs="+", choices=SPEC_POLICIES, default=None,
+        help="policy axis override (default: base dsi ltp)",
+    )
+    p.add_argument(
+        "--kinds", nargs="+", choices=KINDS, default=None,
+        help="run-kind axis override (default: accuracy timing)",
+    )
+    p.add_argument(
+        "--delays", nargs="+", type=int, default=None,
+        metavar="CYCLES",
+        help="si_fire_delay axis override (default: 0 500 2000)",
+    )
+    _common(p)
+
+    p = csub.add_parser(
+        "resume",
+        help="continue a campaign exactly from its state file "
+             "(identical seed + state => identical sequence; a "
+             "finished campaign resumes as a no-op)",
+    )
+    _common(p)
+    p.add_argument(
+        "--name", metavar="NAME", default=None,
+        help="campaign whose default state file to resume (or pass "
+             "--state)",
+    )
+
+    p = csub.add_parser(
+        "status", help="summarise a campaign's state file",
+    )
+    _common(p, with_budget=False)
+    p.add_argument(
+        "--name", metavar="NAME", default=None,
+        help="campaign whose default state file to inspect (or pass "
+             "--state)",
+    )
 
 
 def _announce_broker(address: str) -> None:
@@ -1091,6 +1213,7 @@ def _query_command(args) -> int:
             index,
             where=args.where,
             experiment=args.experiment,
+            campaign=getattr(args, "campaign", None),
             limit=args.limit,
         )
     except QueryError as exc:
@@ -1103,6 +1226,163 @@ def _query_command(args) -> int:
     else:
         print(format_rows_table(rows))
     return 0
+
+
+def _campaign_state_path(args, name: Optional[str] = None) -> Path:
+    if args.state:
+        return Path(args.state)
+    stem = name or getattr(args, "name", None)
+    if not stem:
+        raise SystemExit(
+            "campaign: pass --state PATH or --name NAME to locate "
+            "the state file"
+        )
+    return Path(args.cache_dir) / "campaigns" / f"{stem}.json"
+
+
+def _campaign_executor(args):
+    from repro.campaign import BrokerExecutor, LocalExecutor
+
+    if getattr(args, "connect", None):
+        return BrokerExecutor(
+            _parse_address(args.connect),
+            size=getattr(args, "size", "tiny"),
+            auth_token=getattr(args, "auth_token", None),
+            timeout=args.timeout,
+        )
+    cache = ResultCache(args.cache_dir)
+    return LocalExecutor(
+        cache, size=getattr(args, "size", "tiny"), jobs=args.jobs
+    )
+
+
+def _campaign_execute(driver, args) -> int:
+    """Run a built driver to completion, tag discoveries, report."""
+    from repro.campaign.space import point_spec
+
+    def progress(spent, budget, point, interesting, source):
+        spec = point_spec(point, getattr(args, "size", "tiny"))
+        marker = " *** interesting" if interesting else ""
+        print(
+            f"[campaign {driver.name}] {spent}/{budget} "
+            f"{spec.label()} ({source}){marker}",
+            flush=True,
+        )
+
+    executor = _campaign_executor(args)
+    try:
+        result = driver.run(executor, progress=progress)
+    finally:
+        executor.close()
+    digests = [
+        o["digest"] for o in result.discoveries if o.get("digest")
+    ]
+    index = ResultCache(args.cache_dir).index
+    if digests and index is not None:
+        index.tag_campaign(driver.name, digests)
+    print(
+        f"[campaign {driver.name}] {result.spent} point(s) explored "
+        f"({result.executed} fresh, budget {result.budget}), "
+        f"{len(result.discoveries)} discovery(ies), "
+        f"stopped: {result.stop_reason}"
+    )
+    if driver.state_path is not None:
+        print(f"[campaign {driver.name}] state: {driver.state_path}")
+    if digests:
+        print(
+            f"[campaign {driver.name}] tagged {len(digests)} "
+            f"discovery(ies) — query with `ltp-repro query "
+            f"--campaign {driver.name}`, render with `ltp-repro "
+            f"report --html SITE`"
+        )
+    return 0
+
+
+def _campaign_command(args) -> int:
+    from repro.campaign import (
+        CampaignDriver,
+        CampaignError,
+        InterestingnessMetric,
+        default_space,
+    )
+    from repro.store.query import QueryError
+
+    try:
+        if args.campaign_command == "run":
+            seed = args.seed
+            name = args.name or f"campaign-seed{seed}"
+            state_path = _campaign_state_path(args, name)
+            space = default_space(
+                workloads=args.workloads,
+                policies=args.policies,
+                kinds=args.kinds,
+                delays=args.delays,
+            )
+            metric = InterestingnessMetric.parse(
+                args.where or ["accuracy < 0.5"]
+            )
+            driver = CampaignDriver(
+                name=name,
+                space=space,
+                metric=metric,
+                seed=seed,
+                budget=args.budget if args.budget else 40,
+                state_path=state_path,
+                max_seconds=args.max_seconds,
+            )
+            return _campaign_execute(driver, args)
+        if args.campaign_command == "resume":
+            state_path = _campaign_state_path(args)
+            if not state_path.exists():
+                print(
+                    f"campaign: no state file at {state_path}",
+                    file=sys.stderr,
+                )
+                return 1
+            driver = CampaignDriver.from_state(
+                state_path,
+                budget=args.budget,
+                max_seconds=args.max_seconds,
+            )
+            return _campaign_execute(driver, args)
+        # status
+        state_path = _campaign_state_path(args)
+        if not state_path.exists():
+            print(
+                f"campaign: no state file at {state_path}",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.campaign import CampaignDriver as _Driver
+
+        state = _Driver.load_state(state_path)
+        explored = state.get("explored", [])
+        found = [o for o in explored if o.get("interesting")]
+        print(f"campaign:    {state.get('name')}")
+        print(f"seed:        {state.get('seed')}")
+        print(f"budget:      {state.get('budget')}")
+        print(
+            f"explored:    {len(explored)} point(s), "
+            f"{len(found)} discovery(ies)"
+        )
+        print(f"metric:      {' AND '.join(state.get('metric', []))}")
+        print(f"stop reason: {state.get('stop_reason')}")
+        print(f"state file:  {state_path}")
+        return 0
+    except (CampaignError, QueryError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    except (ProtocolError, RemoteExecutionError, OSError) as exc:
+        # a broker that vanishes mid-campaign is an operational
+        # failure, not a crash: the state file keeps every completed
+        # point, so `campaign resume` continues where this run died
+        print(
+            f"campaign: executor failed ({exc}); completed points "
+            f"are saved — continue with `ltp-repro campaign resume "
+            f"--state <state-file>`",
+            file=sys.stderr,
+        )
+        return 3
 
 
 def _report_html_command(args) -> int:
@@ -1422,6 +1702,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(args)
     if args.command == "query":
         return _query_command(args)
+    if args.command == "campaign":
+        return _campaign_command(args)
     if args.command == "profile":
         return _profile_command(args)
     if args.command == "report" and args.html:

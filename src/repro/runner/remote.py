@@ -2145,6 +2145,8 @@ class GridClient:
         specs: Iterable[JobSpec],
         priority: int = 1,
         quota_wait: Optional[float] = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> dict:
         """Enqueue a grid; returns the broker's ``grid`` reply (grid
         id, unique spec count, broker-side cache hits).
@@ -2154,7 +2156,13 @@ class GridClient:
         ``busy`` reply — the broker's per-client quota backpressure —
         is retried after its advertised ``retry_after`` for up to
         ``quota_wait`` seconds (``None`` = keep retrying forever),
-        then surfaced as :class:`RemoteExecutionError`.
+        then surfaced as :class:`RemoteExecutionError`. When the
+        advertised ``retry_after`` overshoots the remaining budget,
+        the final sleep is clamped to what's left and the submit is
+        attempted once more *at* the deadline — the client spends its
+        whole ``quota_wait`` before giving up, instead of forfeiting
+        a window the broker may well have freed. ``clock``/``sleep``
+        exist for tests.
         """
         specs = list(specs)
         message = {
@@ -2167,23 +2175,28 @@ class GridClient:
             # unknown keys anyway), v3 brokers weight the grid
             message["priority"] = int(priority)
         deadline = (
-            None if quota_wait is None
-            else time.monotonic() + quota_wait
+            None if quota_wait is None else clock() + quota_wait
         )
+        final_attempt = False
         while True:
             reply = _request(self._stream, message)
             if reply.get("type") == "busy":
                 wait = max(0.05, float(reply.get("retry_after", 1.0)))
-                if (
-                    deadline is not None
-                    and time.monotonic() + wait > deadline
-                ):
-                    raise RemoteExecutionError(
-                        "serve broker held the client over quota for "
-                        f"{quota_wait:g}s: "
-                        f"{reply.get('message', reply)!r}"
-                    )
-                time.sleep(wait)
+                if deadline is not None:
+                    remaining = deadline - clock()
+                    if final_attempt or remaining <= 0:
+                        raise RemoteExecutionError(
+                            "serve broker held the client over quota "
+                            f"for {quota_wait:g}s: "
+                            f"{reply.get('message', reply)!r}"
+                        )
+                    if wait > remaining:
+                        # clamp: sleep out the budget and try once
+                        # more at the deadline rather than raising
+                        # with unspent quota_wait on the table
+                        wait = remaining
+                        final_attempt = True
+                sleep(wait)
                 continue
             if reply.get("type") != "grid":
                 raise ProtocolError(

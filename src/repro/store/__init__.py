@@ -16,10 +16,16 @@ Three modules over one database (``<cache-root>/index.sqlite``):
     tables + SVG figures, fleet scaling timelines, bench trends.
 """
 
-from repro.store.index import INDEX_DB_NAME, ResultIndex, scalar_metrics
+from repro.store.index import (
+    INDEX_DB_NAME,
+    ResultIndex,
+    finite_metrics,
+    scalar_metrics,
+)
 from repro.store.query import (
     QueryError,
     parse_predicate,
+    predicate_matches,
     reindex,
     run_query,
     tag_experiments,

@@ -34,6 +34,7 @@ fails the publish — ``cache reindex`` rebuilds it from the blobs.
 from __future__ import annotations
 
 import json
+import math
 import sqlite3
 import time
 from dataclasses import dataclass
@@ -97,6 +98,13 @@ CREATE TABLE IF NOT EXISTS experiment_specs (
 );
 CREATE INDEX IF NOT EXISTS idx_experiment_specs_experiment
     ON experiment_specs (experiment);
+CREATE TABLE IF NOT EXISTS campaigns (
+    digest TEXT NOT NULL,
+    campaign TEXT NOT NULL,
+    PRIMARY KEY (digest, campaign)
+);
+CREATE INDEX IF NOT EXISTS idx_campaigns_campaign
+    ON campaigns (campaign);
 """
 
 #: queryable columns of the ``results`` table (the --where vocabulary
@@ -155,6 +163,23 @@ def scalar_metrics(value: Any) -> Dict[str, float]:
             metrics[f"fraction_{name}"] = value.fraction(pattern)
         return metrics
     return {}
+
+
+def finite_metrics(metrics: Dict[str, float]) -> Dict[str, float]:
+    """Drop non-finite metric values before they reach sqlite.
+
+    Python's sqlite3 stores ``NaN`` as ``NULL``, which makes every
+    comparison predicate on that metric silently false (the row
+    vanishes from ``--where metric > x`` *and* ``metric <= x`` with
+    no hint), and ``±inf`` round-trips but poisons JSON exports. The
+    publish path skips such values — the identity row still lands,
+    the metric is simply absent, which queries can at least observe.
+    """
+    return {
+        name: value
+        for name, value in metrics.items()
+        if isinstance(value, (int, float)) and math.isfinite(value)
+    }
 
 
 def _spec_columns(spec: JobSpec) -> Dict[str, Any]:
@@ -269,7 +294,7 @@ class ResultIndex:
             _spec_columns(spec) if spec is not None
             else _report_columns(value)
         )
-        metrics = scalar_metrics(value)
+        metrics = finite_metrics(scalar_metrics(value))
         names = ", ".join(columns)
         slots = ", ".join("?" for _ in columns)
         updates = ", ".join(
@@ -327,6 +352,39 @@ class ResultIndex:
         conn.close()
         return len(rows)
 
+    def tag_campaign(
+        self, campaign: str, digests: Iterable[str]
+    ) -> int:
+        """Idempotently tag ``digests`` as discoveries of a campaign.
+
+        Unlike experiment membership (recomputed wholesale from the
+        declared grids), campaign tags are append-only facts — a
+        retag never disturbs other campaigns' rows. Advisory like
+        every index write: transient lock errors retry, then give up.
+        """
+        rows = [(digest, campaign) for digest in digests]
+        if not rows:
+            return 0
+        for attempt in range(WRITE_RETRIES):
+            try:
+                with self._connect() as conn:
+                    conn.executemany(
+                        "INSERT OR IGNORE INTO campaigns "
+                        "(digest, campaign) VALUES (?, ?)",
+                        rows,
+                    )
+                return len(rows)
+            except sqlite3.OperationalError:
+                if attempt == WRITE_RETRIES - 1:
+                    return 0
+                time.sleep(0.05 * (attempt + 1))
+            finally:
+                try:
+                    conn.close()
+                except UnboundLocalError:
+                    pass
+        return 0
+
     def delete_missing(self, keep_digests: Iterable[str]) -> int:
         """Drop rows whose blobs vanished (pruned); returns count."""
         keep = set(keep_digests)
@@ -346,6 +404,10 @@ class ResultIndex:
             )
             conn.executemany(
                 "DELETE FROM experiment_specs WHERE digest = ?",
+                [(d,) for d in stale],
+            )
+            conn.executemany(
+                "DELETE FROM campaigns WHERE digest = ?",
                 [(d,) for d in stale],
             )
         conn.close()
@@ -411,6 +473,20 @@ class ResultIndex:
         conn.close()
         return names
 
+    def campaigns(self) -> List[str]:
+        """Campaign names with at least one tagged discovery."""
+        if not self.exists():
+            return []
+        with self._connect() as conn:
+            names = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT DISTINCT campaign FROM campaigns ORDER BY 1"
+                )
+            ]
+        conn.close()
+        return names
+
     def select(
         self,
         sql_where: str,
@@ -441,6 +517,9 @@ class ResultIndex:
             experiments: Dict[str, List[str]] = {
                 d: [] for d in digests
             }
+            campaigns: Dict[str, List[str]] = {
+                d: [] for d in digests
+            }
             for chunk_start in range(0, len(digests), 500):
                 chunk = digests[chunk_start:chunk_start + 500]
                 slots = ",".join("?" for _ in chunk)
@@ -456,8 +535,15 @@ class ResultIndex:
                     chunk,
                 ):
                     experiments[digest].append(experiment)
+                for digest, campaign in conn.execute(
+                    f"SELECT digest, campaign FROM campaigns "
+                    f"WHERE digest IN ({slots}) ORDER BY campaign",
+                    chunk,
+                ):
+                    campaigns[digest].append(campaign)
         conn.close()
         for row in rows:
             row["metrics"] = metrics[row["digest"]]
             row["experiments"] = experiments[row["digest"]]
+            row["campaigns"] = campaigns[row["digest"]]
         return rows

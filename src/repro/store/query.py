@@ -31,6 +31,17 @@ _PREDICATE = re.compile(
 )
 _OPERATORS = {"<", "<=", ">", ">=", "=", "==", "!="}
 
+#: identity columns that hold numbers. A numeric-literal predicate on
+#: one of these compares under CAST so the index's column affinity can
+#: never demote it to text ordering ("10" < "9") — the fresh schema
+#: declares INTEGER affinity, but reindexed/legacy databases predate
+#: those declarations and sqlite compares TEXT-stored values against
+#: numeric parameters by type order, not value, unless we cast.
+NUMERIC_COLUMNS = frozenset(
+    ("bits", "si_fire_delay", "forwarding", "size_bytes",
+     "created", "updated")
+)
+
 
 class QueryError(ValueError):
     """A malformed predicate or unknown filter vocabulary."""
@@ -86,11 +97,52 @@ def _sql_op(op: str) -> str:
     return {"==": "=", "!=": "<>"}.get(op, op)
 
 
+_PY_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def predicate_matches(row: Dict[str, Any], pred: Predicate) -> bool:
+    """Evaluate one predicate against a select()-shaped row dict.
+
+    The Python twin of :func:`build_filter`, for callers that hold a
+    row in hand instead of a database — campaign interestingness
+    metrics score freshly published points this way. Semantics match
+    SQL's: a missing column/metric never matches, and a numeric
+    literal against a numeric-looking stored value compares
+    numerically regardless of how the store spelled it.
+    """
+    if pred.is_metric:
+        actual = row.get("metrics", {}).get(pred.name)
+    else:
+        actual = row.get(pred.name)
+    if actual is None:
+        return False
+    expected = pred.value
+    if isinstance(expected, (int, float)):
+        try:
+            actual = float(actual)
+        except (TypeError, ValueError):
+            return False
+    else:
+        actual = str(actual)
+    try:
+        return _PY_OPS[pred.op](actual, expected)
+    except TypeError:
+        return False
+
+
 def build_filter(
     predicates: List[Predicate],
     experiment_names: Optional[List[str]] = None,
+    campaign_names: Optional[List[str]] = None,
 ) -> Tuple[str, Tuple]:
-    """Compile predicates + experiment membership into one
+    """Compile predicates + experiment/campaign membership into one
     ``(where_sql, params)`` pair for :meth:`ResultIndex.select`."""
     clauses: List[str] = []
     params: List[Any] = []
@@ -102,6 +154,14 @@ def build_filter(
                 f"m.digest = r.digest AND m.name = ? AND m.value {op} ?)"
             )
             params.extend([pred.name, pred.value])
+        elif (
+            pred.name in NUMERIC_COLUMNS
+            and isinstance(pred.value, (int, float))
+        ):
+            clauses.append(
+                f"CAST(r.{pred.name} AS NUMERIC) {op} ?"
+            )
+            params.append(pred.value)
         else:
             clauses.append(f"r.{pred.name} {op} ?")
             params.append(pred.value)
@@ -112,6 +172,13 @@ def build_filter(
             f"e.digest = r.digest AND e.experiment IN ({slots}))"
         )
         params.extend(experiment_names)
+    if campaign_names:
+        slots = ",".join("?" for _ in campaign_names)
+        clauses.append(
+            "EXISTS (SELECT 1 FROM campaigns c WHERE "
+            f"c.digest = r.digest AND c.campaign IN ({slots}))"
+        )
+        params.extend(campaign_names)
     return " AND ".join(clauses), tuple(params)
 
 
@@ -119,6 +186,7 @@ def run_query(
     index: ResultIndex,
     where: Optional[List[str]] = None,
     experiment: Optional[str] = None,
+    campaign: Optional[str] = None,
     limit: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Parse, compile, and execute one query; returns row dicts."""
@@ -136,7 +204,16 @@ def run_query(
         # published since the last reindex can be tagged on the fly —
         # tagging only enumerates specs, it never runs simulations
         tag_experiments(index)
-    sql, params = build_filter(predicates, experiments)
+    campaigns: Optional[List[str]] = None
+    if campaign:
+        known = index.campaigns()
+        if campaign not in known:
+            raise QueryError(
+                f"unknown campaign {campaign!r}; indexed campaigns: "
+                f"{', '.join(known) or '(none)'}"
+            )
+        campaigns = [campaign]
+    sql, params = build_filter(predicates, experiments, campaigns)
     return index.select(sql, params, limit=limit)
 
 
@@ -284,6 +361,8 @@ def rows_to_records(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
             "digest": row["digest"],
             "experiments": ",".join(row["experiments"]),
         }
+        if row.get("campaigns"):
+            record["campaigns"] = ",".join(row["campaigns"])
         for name in TABLE_COLUMNS:
             record[name] = row.get(name)
         record["codec"] = row.get("codec")

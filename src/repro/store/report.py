@@ -697,6 +697,149 @@ def _bench_section(
     )
 
 
+# -- discovery campaigns -----------------------------------------------
+
+
+def load_campaigns(cache_root) -> List[Dict[str, Any]]:
+    """Every campaign state file under ``<cache-root>/campaigns``,
+    sorted by name. Unreadable files are skipped — the report renders
+    what it can."""
+    states = []
+    campaigns_dir = Path(cache_root) / "campaigns"
+    if not campaigns_dir.is_dir():
+        return states
+    for path in sorted(campaigns_dir.glob("*.json")):
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if isinstance(state, dict) and "explored" in state:
+            states.append(state)
+    return states
+
+
+def _campaign_scatter(state: Dict[str, Any]) -> str:
+    """Explored-point scatter: the scored metric over the campaign's
+    exploration sequence, discoveries as status markers."""
+    explored = state.get("explored", [])
+    metric_names = [
+        name
+        for outcome in explored
+        for name in (outcome.get("metrics") or {})
+    ]
+    metric = metric_names[0] if metric_names else None
+    xs = [float(i + 1) for i in range(len(explored))]
+    ys: List[Optional[float]] = []
+    markers = []
+    for i, outcome in enumerate(explored):
+        if metric is not None:
+            value = (outcome.get("metrics") or {}).get(metric)
+        else:
+            # identity-only metric: plot the verdict itself
+            value = 1.0 if outcome.get("interesting") else 0.0
+        ys.append(value)
+        if outcome.get("interesting") and value is not None:
+            point = outcome.get("point", {})
+            label = "/".join(
+                str(point[k])
+                for k in ("workload", "policy")
+                if k in point
+            )
+            markers.append(
+                (xs[i], float(value), STATUS_CRITICAL, label)
+            )
+    label_idx = {0, len(xs) - 1} if xs else set()
+    x_labels = [
+        str(int(x)) if i in label_idx else ""
+        for i, x in enumerate(xs)
+    ]
+    chart = line_chart_svg(
+        xs,
+        [(metric or "interesting", ys)],
+        x_labels=x_labels,
+        markers=markers,
+    )
+    return (
+        f'<figure>{chart}<figcaption>{_esc(metric or "verdict")} '
+        "over the explored sequence; markers are discoveries"
+        "</figcaption></figure>"
+    )
+
+
+def _campaign_table(state: Dict[str, Any]) -> str:
+    found = [
+        o for o in state.get("explored", []) if o.get("interesting")
+    ]
+    if not found:
+        return "<p>No discoveries yet.</p>"
+    fields: List[str] = []
+    for outcome in found:
+        for name in outcome.get("point", {}):
+            if name not in fields:
+                fields.append(name)
+    metric_names: List[str] = []
+    for outcome in found:
+        for name in outcome.get("metrics") or {}:
+            if name not in metric_names:
+                metric_names.append(name)
+    head = "".join(
+        f"<th>{_esc(name)}</th>" for name in fields
+    ) + "".join(
+        f'<th class="num">{_esc(name)}</th>' for name in metric_names
+    ) + "<th>digest</th>"
+    body = []
+    for outcome in found:
+        point = outcome.get("point", {})
+        metrics = outcome.get("metrics") or {}
+        cells = [
+            f"<td>{_esc(point.get(name, '-'))}</td>"
+            for name in fields
+        ]
+        cells.extend(
+            f'<td class="num">{_fmt_num(metrics.get(name))}</td>'
+            for name in metric_names
+        )
+        digest = outcome.get("digest") or "-"
+        cells.append(f"<td><code>{_esc(str(digest)[:12])}</code></td>")
+        body.append(f'<tr>{"".join(cells)}</tr>')
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f'<tbody>{"".join(body)}</tbody></table>'
+    )
+
+
+def _campaign_section(states: List[Dict[str, Any]]) -> str:
+    """The Discoveries card: one block per campaign state file."""
+    if not states:
+        return ""
+    blocks = []
+    for state in states:
+        explored = state.get("explored", [])
+        found = [o for o in explored if o.get("interesting")]
+        metric = " AND ".join(state.get("metric", []))
+        blocks.append(
+            f"<h3>{_esc(state.get('name', '?'))}</h3>"
+            f"<p>seed {_esc(state.get('seed'))}, "
+            f"budget {_esc(state.get('budget'))}, "
+            f"{len(explored)} point(s) explored, "
+            f"{len(found)} discovery(ies) where "
+            f"<code>{_esc(metric)}</code> "
+            f"(stopped: {_esc(state.get('stop_reason', '?'))})</p>"
+            + _campaign_table(state)
+            + _campaign_scatter(state)
+        )
+    return (
+        '<section class="card" id="discoveries">'
+        "<h2>Discoveries</h2>"
+        "<p>Budgeted campaign search over the parameter space "
+        "(<code>ltp-repro campaign run</code>); points satisfying a "
+        "campaign's interestingness predicate are tagged in the "
+        "index and listed here.</p>"
+        + "".join(blocks)
+        + "</section>"
+    )
+
+
 # -- the site ----------------------------------------------------------
 
 
@@ -777,11 +920,14 @@ def generate_report(
             "(<code>ltp-repro run-all</code>) or rebuild the index "
             "(<code>ltp-repro cache reindex</code>).</p></section>"
         )
+    campaigns_html = _campaign_section(load_campaigns(cache.root))
     fleet_html = _fleet_section(load_fleet(cache.root))
     bench_html = _bench_section(
         load_bench(bench_dir) if bench_dir else {}
     )
-    body = experiments_html + fleet_html + bench_html
+    body = (
+        experiments_html + campaigns_html + fleet_html + bench_html
+    )
     index_path = out / "index.html"
     index_path.write_text(
         _page(

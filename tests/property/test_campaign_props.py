@@ -1,0 +1,231 @@
+"""Property-based checks of the campaign driver's contract.
+
+Random small spaces, seeds, budgets, and deterministic fake
+interestingness functions drive :class:`CampaignDriver` end to end
+(no simulator — the executor is a pure function of the point). The
+contract:
+
+* the driver never explores more points than its spec budget;
+* identical seed + state file => identical explored-point sequence
+  across a resume, wherever the first run was cut off;
+* refinement only ever proposes points inside the declared
+  :class:`ParameterSpace` (every explored point is a valid member).
+"""
+
+import json
+import shutil
+import tempfile
+import zlib
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignDriver,
+    InterestingnessMetric,
+    ParameterSpace,
+    point_key,
+)
+
+#: deterministic "accuracy" per point — crc32 keeps it stable across
+#: processes and hypothesis replays (hash() is salted per process)
+def _fake_accuracy(point):
+    return (zlib.crc32(point_key(point).encode()) % 100) / 100.0
+
+
+def _fake_executor(point):
+    return {
+        "digest": point_key(point),
+        "metrics": {"accuracy": _fake_accuracy(point)},
+    }
+
+
+def _metric():
+    return InterestingnessMetric.parse(["accuracy < 0.5"])
+
+
+#: small random spaces: 2-3 dimensions, 1-4 values each, no
+#: constraint (validity pruning is exercised by the default space in
+#: the unit tests; the properties here are about the driver)
+_dimension_values = st.lists(
+    st.integers(min_value=0, max_value=9),
+    min_size=1, max_size=4, unique=True,
+).map(tuple)
+
+_spaces = st.lists(
+    _dimension_values, min_size=2, max_size=3
+).map(
+    lambda dims: ParameterSpace(
+        dimensions=tuple(
+            (f"d{i}", values) for i, values in enumerate(dims)
+        ),
+        constraint=None,
+    )
+)
+
+
+class TestBudget:
+    @given(
+        space=_spaces,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        budget=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_budget(self, space, seed, budget):
+        driver = CampaignDriver(
+            "prop", space, _metric(), seed=seed, budget=budget
+        )
+        result = driver.run(_fake_executor)
+        assert result.spent <= budget
+        assert result.executed <= budget
+        if result.stop_reason == "budget":
+            assert result.spent == budget
+        else:
+            # the whole space fits inside the budget
+            assert result.spent <= len(space.points())
+
+
+class TestDeterministicResume:
+    @given(
+        space=_spaces,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        budget=st.integers(min_value=2, max_value=20),
+        cut=st.integers(min_value=1, max_value=19),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_identical_sequence_across_resume(
+        self, space, seed, budget, cut
+    ):
+        tmp = tempfile.mkdtemp(prefix="campaign-props-")
+        try:
+            state = Path(tmp) / "state.json"
+            # the uninterrupted campaign: the reference sequence
+            reference = CampaignDriver(
+                "prop", space, _metric(), seed=seed, budget=budget
+            ).run(_fake_executor)
+            # the same campaign cut off after `cut` points (a small
+            # first budget models a mid-campaign kill: the state file
+            # holds a prefix), then resumed to the full budget
+            first_budget = min(cut, budget)
+            CampaignDriver(
+                "prop", space, _metric(), seed=seed,
+                budget=first_budget, state_path=state,
+            ).run(_fake_executor)
+            resumed = CampaignDriver.from_state(
+                state, budget=budget
+            ).run(_fake_executor)
+            assert (
+                [o["point"] for o in resumed.explored]
+                == [o["point"] for o in reference.explored]
+            )
+            assert (
+                [o["interesting"] for o in resumed.explored]
+                == [o["interesting"] for o in reference.explored]
+            )
+            # and the resumed run replayed, not re-executed, the
+            # prefix the first run already paid for
+            assert resumed.executed == max(
+                0, reference.spent - first_budget
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    @given(
+        space=_spaces,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        budget=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_completed_campaign_resumes_as_noop(
+        self, space, seed, budget
+    ):
+        tmp = tempfile.mkdtemp(prefix="campaign-props-")
+        try:
+            state = Path(tmp) / "state.json"
+            first = CampaignDriver(
+                "prop", space, _metric(), seed=seed,
+                budget=budget, state_path=state,
+            ).run(_fake_executor)
+            before = state.read_bytes()
+            again = CampaignDriver.from_state(state).run(
+                _fake_executor
+            )
+            assert again.executed == 0
+            assert state.read_bytes() == before
+            assert (
+                [o["point"] for o in again.explored]
+                == [o["point"] for o in first.explored]
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+class TestInSpace:
+    @given(
+        space=_spaces,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        budget=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_explored_point_is_in_space(
+        self, space, seed, budget
+    ):
+        driver = CampaignDriver(
+            "prop", space, _metric(), seed=seed, budget=budget
+        )
+        result = driver.run(_fake_executor)
+        for outcome in result.explored:
+            assert space.contains(outcome["point"])
+        # no point explored twice
+        keys = [point_key(o["point"]) for o in result.explored]
+        assert len(keys) == len(set(keys))
+
+    @given(space=_spaces, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_neighbors_are_valid_one_dim_moves(self, space, seed):
+        points = space.points()
+        point = points[seed % len(points)]
+        for neighbor in space.neighbors(point):
+            assert space.contains(neighbor)
+            differing = [
+                name for name in space.names
+                if neighbor[name] != point[name]
+            ]
+            assert len(differing) == 1
+
+
+class TestStateFile:
+    @given(
+        space=_spaces,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_state_round_trips_and_checks_identity(
+        self, space, seed
+    ):
+        tmp = tempfile.mkdtemp(prefix="campaign-props-")
+        try:
+            state = Path(tmp) / "state.json"
+            CampaignDriver(
+                "prop", space, _metric(), seed=seed, budget=3,
+                state_path=state,
+            ).run(_fake_executor)
+            data = json.loads(state.read_text())
+            assert data["seed"] == seed
+            assert data["metric"] == ["accuracy < 0.5"]
+            # a driver with a different seed must refuse the file
+            from repro.campaign import CampaignError
+            import pytest
+
+            with pytest.raises(CampaignError, match="seed"):
+                CampaignDriver(
+                    "prop", space, _metric(), seed=seed + 1,
+                    budget=3, state_path=state,
+                ).run(_fake_executor)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,417 @@
+"""Unit tests for the discovery-campaign subsystem: the parameter
+space, the predicate-compiled interestingness metric, the seeded
+driver (budget, refinement, resume-by-replay, wall-clock cutoff),
+the local executor, and the ``campaign run/status/resume`` CLI."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    BrokerExecutor,  # noqa: F401 — import surface check
+    CampaignDriver,
+    CampaignError,
+    InterestingnessMetric,
+    LocalExecutor,
+    ParameterSpace,
+    default_space,
+    point_key,
+    point_spec,
+    space_from_json,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main
+from repro.runner import ResultCache
+from repro.store.query import QueryError
+
+
+def _toy_space(constraint=None):
+    return ParameterSpace(
+        dimensions=(
+            ("workload", ("em3d", "tomcatv")),
+            ("policy", ("base", "ltp")),
+        ),
+        constraint=constraint,
+    )
+
+
+def _metric(clauses=("accuracy < 0.5",)):
+    return InterestingnessMetric.parse(list(clauses))
+
+
+class TestParameterSpace:
+    def test_points_cross_product_in_order(self):
+        points = _toy_space().points()
+        assert len(points) == 4
+        assert points[0] == {"workload": "em3d", "policy": "base"}
+        assert points[-1] == {
+            "workload": "tomcatv", "policy": "ltp",
+        }
+
+    def test_default_space_prunes_invalid_delay_combos(self):
+        space = default_space()
+        points = space.points()
+        # 2 kinds x 3 workloads x 3 policies at delay 0, plus
+        # timing/ltp x 3 workloads x 2 nonzero delays
+        assert len(points) == 24
+        for point in points:
+            if point["si_fire_delay"]:
+                assert point["kind"] == "timing"
+                assert point["policy"] == "ltp"
+
+    def test_contains_rejects_foreign_and_invalid_points(self):
+        space = default_space()
+        assert space.contains({
+            "kind": "timing", "workload": "em3d", "policy": "ltp",
+            "si_fire_delay": 500,
+        })
+        # invalid per constraint
+        assert not space.contains({
+            "kind": "accuracy", "workload": "em3d", "policy": "ltp",
+            "si_fire_delay": 500,
+        })
+        # value outside the declared range
+        assert not space.contains({
+            "kind": "timing", "workload": "em3d", "policy": "ltp",
+            "si_fire_delay": 123,
+        })
+        # missing a dimension
+        assert not space.contains({"workload": "em3d"})
+
+    def test_neighbors_one_dimension_valid_only(self):
+        space = default_space()
+        point = {
+            "kind": "timing", "workload": "em3d", "policy": "ltp",
+            "si_fire_delay": 500,
+        }
+        neighbors = space.neighbors(point)
+        assert all(space.contains(n) for n in neighbors)
+        for n in neighbors:
+            assert sum(
+                n[k] != point[k] for k in space.names
+            ) == 1
+        # kind=accuracy neighbor is invalid (nonzero delay) — pruned
+        assert {
+            "kind": "accuracy", "workload": "em3d", "policy": "ltp",
+            "si_fire_delay": 500,
+        } not in neighbors
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            ParameterSpace(dimensions=(("workload", ()),))
+
+    def test_unknown_constraint_rejected(self):
+        with pytest.raises(ConfigurationError, match="constraint"):
+            ParameterSpace(
+                dimensions=(("workload", ("em3d",)),),
+                constraint="nope",
+            )
+
+    def test_json_round_trip(self):
+        space = default_space(workloads=["em3d"])
+        clone = space_from_json(space.to_json())
+        assert clone == space
+        assert clone.points() == space.points()
+
+
+class TestPointSpec:
+    def test_accuracy_point(self):
+        spec = point_spec(
+            {
+                "kind": "accuracy", "workload": "em3d",
+                "policy": "base", "si_fire_delay": 0,
+            },
+            size="tiny",
+        )
+        assert spec.kind == "accuracy"
+        assert spec.policy.name == "base"
+        assert spec.size == "tiny"
+        assert spec.si_fire_delay == 0
+
+    def test_timing_point_carries_delay(self):
+        spec = point_spec(
+            {
+                "kind": "timing", "workload": "em3d",
+                "policy": "ltp", "si_fire_delay": 2000,
+            },
+            size="tiny",
+        )
+        assert spec.kind == "timing"
+        assert spec.si_fire_delay == 2000
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="wat"):
+            point_spec({"workload": "em3d", "wat": 1})
+
+
+class TestInterestingnessMetric:
+    def test_scores_metric_and_identity_predicates(self):
+        metric = InterestingnessMetric.parse(
+            ["accuracy < 0.5", "policy == base"]
+        )
+        row = {"policy": "base", "metrics": {"accuracy": 0.1}}
+        assert metric.interesting(row)
+        assert not metric.interesting(
+            {"policy": "ltp", "metrics": {"accuracy": 0.1}}
+        )
+        assert not metric.interesting(
+            {"policy": "base", "metrics": {"accuracy": 0.9}}
+        )
+        # a row missing the metric never matches
+        assert not metric.interesting(
+            {"policy": "base", "metrics": {}}
+        )
+
+    def test_needs_at_least_one_clause(self):
+        with pytest.raises(QueryError):
+            InterestingnessMetric([])
+
+    def test_malformed_clause_raises(self):
+        with pytest.raises(QueryError):
+            InterestingnessMetric.parse(["not a predicate"])
+
+    def test_describe_and_metric_names(self):
+        metric = InterestingnessMetric.parse(
+            ["accuracy < 0.5", "policy == base"]
+        )
+        assert metric.describe() == "accuracy < 0.5 AND policy == base"
+        assert metric.metric_names == ("accuracy",)
+
+
+def _fake_executor(interesting_keys=(), log=None):
+    """Deterministic fake: accuracy 0.0 for listed keys, 1.0 else."""
+    interesting = set(interesting_keys)
+
+    def execute(point):
+        if log is not None:
+            log.append(dict(point))
+        key = point_key(point)
+        return {
+            "digest": f"digest-{key}",
+            "metrics": {
+                "accuracy": 0.0 if key in interesting else 1.0
+            },
+        }
+
+    return execute
+
+
+class TestCampaignDriver:
+    def test_budget_stops_exploration(self):
+        driver = CampaignDriver(
+            "t", _toy_space(), _metric(), seed=1, budget=2
+        )
+        result = driver.run(_fake_executor())
+        assert result.spent == 2
+        assert result.stop_reason == "budget"
+
+    def test_space_exhaustion_reported(self):
+        driver = CampaignDriver(
+            "t", _toy_space(), _metric(), seed=1, budget=100
+        )
+        result = driver.run(_fake_executor())
+        assert result.spent == 4
+        assert result.stop_reason == "space-exhausted"
+
+    def test_refinement_jumps_the_queue(self):
+        space = _toy_space()
+        order = CampaignDriver(
+            "t", space, _metric(), seed=3, budget=100
+        ).exploration_order()
+        first_key = point_key(order[0])
+        log = []
+        CampaignDriver(
+            "t", space, _metric(), seed=3, budget=100
+        ).run(_fake_executor([first_key], log=log))
+        # the first point is interesting, so its neighbors are
+        # explored immediately after it, ahead of the shuffle order
+        neighbors = [point_key(n) for n in space.neighbors(order[0])]
+        explored = [point_key(p) for p in log]
+        assert explored[0] == first_key
+        assert set(explored[1:1 + len(neighbors)]) == set(neighbors)
+
+    def test_wall_clock_budget_uses_injected_clock(self):
+        clock_now = [0.0]
+
+        def clock():
+            return clock_now[0]
+
+        def slow_executor(point):
+            clock_now[0] += 10.0
+            return _fake_executor()(point)
+
+        driver = CampaignDriver(
+            "t", _toy_space(), _metric(), seed=1, budget=100,
+            max_seconds=15.0, clock=clock,
+        )
+        result = driver.run(slow_executor)
+        assert result.stop_reason == "wall-clock"
+        assert result.spent == 2  # third point hit the deadline
+
+    def test_resume_after_kill_continues_exactly(self, tmp_path):
+        state = tmp_path / "state.json"
+        full = CampaignDriver(
+            "t", _toy_space(), _metric(), seed=5, budget=4
+        ).run(_fake_executor())
+        # "kill" after two points: a smaller first budget leaves the
+        # same state file a mid-campaign SIGKILL would
+        CampaignDriver(
+            "t", _toy_space(), _metric(), seed=5, budget=2,
+            state_path=state,
+        ).run(_fake_executor())
+        resumed = CampaignDriver.from_state(state, budget=4).run(
+            _fake_executor()
+        )
+        assert resumed.executed == 2  # only the unexplored tail ran
+        assert (
+            [o["point"] for o in resumed.explored]
+            == [o["point"] for o in full.explored]
+        )
+
+    def test_seed_mismatch_rejects_state(self, tmp_path):
+        state = tmp_path / "state.json"
+        CampaignDriver(
+            "t", _toy_space(), _metric(), seed=1, budget=2,
+            state_path=state,
+        ).run(_fake_executor())
+        with pytest.raises(CampaignError, match="seed"):
+            CampaignDriver(
+                "t", _toy_space(), _metric(), seed=2, budget=2,
+                state_path=state,
+            ).run(_fake_executor())
+
+    def test_metric_mismatch_rejects_state(self, tmp_path):
+        state = tmp_path / "state.json"
+        CampaignDriver(
+            "t", _toy_space(), _metric(), seed=1, budget=2,
+            state_path=state,
+        ).run(_fake_executor())
+        with pytest.raises(CampaignError, match="metric"):
+            CampaignDriver(
+                "t", _toy_space(),
+                _metric(["accuracy < 0.9"]), seed=1, budget=2,
+                state_path=state,
+            ).run(_fake_executor())
+
+    def test_corrupt_state_raises(self, tmp_path):
+        state = tmp_path / "state.json"
+        state.write_text("{not json")
+        with pytest.raises(CampaignError, match="unreadable"):
+            CampaignDriver(
+                "t", _toy_space(), _metric(), seed=1, budget=2,
+                state_path=state,
+            ).run(_fake_executor())
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(CampaignError, match="budget"):
+            CampaignDriver(
+                "t", _toy_space(), _metric(), seed=1, budget=0
+            )
+
+
+class TestLocalExecutor:
+    def test_executes_point_and_publishes_to_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = LocalExecutor(cache, size="tiny")
+        row = executor(
+            {
+                "kind": "accuracy", "workload": "em3d",
+                "policy": "base", "si_fire_delay": 0,
+            }
+        )
+        assert row["policy"] == "base"
+        assert row["metrics"]["accuracy"] == 0.0
+        # the run published through the cache, so the index row and
+        # the executor's digest agree
+        indexed = cache.index.select("", ())
+        assert len(indexed) == 1
+        assert indexed[0]["digest"] == row["digest"]
+
+
+class TestCampaignCli:
+    def _run(self, tmp_path, extra=()):
+        return main([
+            "campaign", "run",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--budget", "4", "--seed", "3",
+            "--size", "tiny",
+            "--workloads", "em3d",
+            "--policies", "base", "ltp",
+            "--kinds", "accuracy",
+            "--delays", "0",
+            *extra,
+        ])
+
+    def test_run_tags_discoveries_and_writes_state(
+        self, tmp_path, capsys
+    ):
+        assert self._run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "discovery(ies)" in out
+        cache_dir = tmp_path / "cache"
+        state = cache_dir / "campaigns" / "campaign-seed3.json"
+        assert state.exists()
+        data = json.loads(state.read_text())
+        assert data["seed"] == 3
+        assert any(o["interesting"] for o in data["explored"])
+        # discoveries are queryable by campaign tag
+        assert main([
+            "query", "--cache-dir", str(cache_dir),
+            "--campaign", "campaign-seed3", "--format", "json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(
+            "campaign-seed3" in r["campaigns"] for r in rows
+        )
+
+    def test_resume_is_noop_after_completion(
+        self, tmp_path, capsys
+    ):
+        assert self._run(tmp_path) == 0
+        state = (
+            tmp_path / "cache" / "campaigns" / "campaign-seed3.json"
+        )
+        before = state.read_bytes()
+        capsys.readouterr()
+        assert main([
+            "campaign", "resume",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--name", "campaign-seed3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 fresh" in out
+        assert state.read_bytes() == before
+
+    def test_status_summarises_state(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "status",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--name", "campaign-seed3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign-seed3" in out
+        assert "discovery(ies)" in out
+
+    def test_status_without_state_fails(self, tmp_path, capsys):
+        assert main([
+            "campaign", "status",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--name", "nope",
+        ]) == 1
+
+    def test_query_unknown_campaign_errors(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "query", "--cache-dir", str(tmp_path / "cache"),
+            "--campaign", "never-ran",
+        ]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_bad_predicate_errors_cleanly(self, tmp_path, capsys):
+        assert self._run(
+            tmp_path, extra=("--where", "not a predicate")
+        ) == 2
+        assert "campaign:" in capsys.readouterr().err

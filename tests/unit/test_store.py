@@ -343,3 +343,182 @@ class TestSpecDigest:
         (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
         conn.close()
         assert mode == "wal"
+
+
+class TestNonFiniteMetrics:
+    """Publish-path regression: NaN/inf metric values must never
+    reach sqlite (NaN stores as NULL, which makes *every* comparison
+    predicate on that metric silently exclude the row)."""
+
+    def _nan_report(self):
+        from repro.timing.stats import TimingReport
+
+        return TimingReport(
+            workload="em3d",
+            policy="ltp",
+            execution_cycles=float("nan"),
+        )
+
+    def _inf_report(self):
+        from repro.timing.stats import TimingReport
+
+        return TimingReport(
+            workload="em3d",
+            policy="ltp",
+            execution_cycles=float("inf"),
+        )
+
+    def test_finite_metrics_drops_nan_and_inf(self):
+        from repro.store import finite_metrics
+
+        metrics = {
+            "ok": 1.5,
+            "bad_nan": float("nan"),
+            "bad_inf": float("inf"),
+            "bad_ninf": float("-inf"),
+            "zero": 0.0,
+        }
+        assert finite_metrics(metrics) == {"ok": 1.5, "zero": 0.0}
+
+    def test_nan_metric_not_indexed(self, tmp_path):
+        from repro.runner.spec import timing_job
+
+        cache = ResultCache(tmp_path)
+        spec = timing_job("em3d", SIZE, PolicySpec(name="ltp"))
+        # failing-before: this row's execution_cycles landed as NULL,
+        # so both `execution_cycles > 0` *and* `<= 0` excluded it
+        cache.put(spec, self._nan_report())
+        row = cache.index.select("", ())[0]
+        assert "execution_cycles" not in row["metrics"]
+        # the identity row still lands and stays queryable
+        assert row["policy"] == "ltp"
+        rows = run_query(cache.index, where=["policy == ltp"])
+        assert len(rows) == 1
+
+    def test_inf_metric_not_indexed(self, tmp_path):
+        from repro.runner.spec import timing_job
+
+        cache = ResultCache(tmp_path)
+        spec = timing_job("em3d", SIZE, PolicySpec(name="ltp"))
+        cache.put(spec, self._inf_report())
+        row = cache.index.select("", ())[0]
+        assert "execution_cycles" not in row["metrics"]
+
+    def test_finite_metrics_survive_alongside_nan(self, tmp_path):
+        from repro.timing.stats import TimingReport
+        from repro.runner.spec import timing_job
+
+        cache = ResultCache(tmp_path)
+        spec = timing_job("em3d", SIZE, PolicySpec(name="ltp"))
+        report = TimingReport(
+            workload="em3d",
+            policy="ltp",
+            execution_cycles=float("nan"),
+            accesses=100,
+        )
+        cache.put(spec, report)
+        metrics = cache.index.select("", ())[0]["metrics"]
+        assert metrics["accesses"] == 100.0
+        assert "execution_cycles" not in metrics
+
+
+class TestNumericAffinity:
+    """Numeric predicates on identity columns must compare by value,
+    never by text ordering ("10" < "9" under text affinity)."""
+
+    def _delay_grid(self, tmp_path):
+        from repro.runner.spec import timing_job
+
+        cache = ResultCache(tmp_path)
+        for delay in (5, 9, 10, 40):
+            spec = timing_job(
+                "em3d", SIZE, PolicySpec(name="ltp"),
+                si_fire_delay=delay,
+            )
+            cache.put(spec, execute_spec(spec))
+        return cache
+
+    def test_one_and_two_digit_delays_compare_numerically(
+        self, tmp_path
+    ):
+        cache = self._delay_grid(tmp_path)
+        rows = run_query(cache.index, where=["si_fire_delay < 10"])
+        assert sorted(r["si_fire_delay"] for r in rows) == [5, 9]
+        rows = run_query(cache.index, where=["si_fire_delay >= 10"])
+        assert sorted(r["si_fire_delay"] for r in rows) == [10, 40]
+
+    def test_text_stored_values_still_compare_numerically(
+        self, tmp_path
+    ):
+        # a legacy/foreign index may hold numbers in affinity-less
+        # (effectively TEXT) columns, where sqlite compares a text
+        # value against a numeric parameter by *type order*, not by
+        # value — the CAST in build_filter keeps value ordering even
+        # then. Simulate such a schema: pre-create `results` without
+        # column affinity (CREATE TABLE IF NOT EXISTS leaves it be).
+        db_path = tmp_path / INDEX_DB_NAME
+        conn = sqlite3.connect(db_path)
+        conn.execute(
+            "CREATE TABLE results ("
+            "digest PRIMARY KEY, kind, workload, size, policy, "
+            "bits, encoder, variant, forwarding, si_fire_delay, "
+            "overrides, params, salt, codec, size_bytes, holder, "
+            "created, updated)"
+        )
+        for delay in ("5", "9", "10", "40"):
+            conn.execute(
+                "INSERT INTO results "
+                "(digest, kind, workload, policy, si_fire_delay) "
+                "VALUES (?, 'timing', 'em3d', 'ltp', ?)",
+                (f"digest-{delay}", delay),
+            )
+        conn.commit()
+        conn.close()
+        index = ResultIndex(tmp_path)
+        # text storage survived (no affinity coercion): the bug's
+        # precondition holds in this database
+        with index._connect() as raw:
+            stored = [
+                row[0]
+                for row in raw.execute(
+                    "SELECT si_fire_delay FROM results"
+                )
+            ]
+        raw.close()
+        assert all(isinstance(v, str) for v in stored)
+        # failing-before: every text value compared greater than the
+        # numeric parameter, so `< 10` matched nothing at all
+        rows = run_query(index, where=["si_fire_delay < 10"])
+        got = sorted(int(r["si_fire_delay"]) for r in rows)
+        assert got == [5, 9]
+        rows = run_query(index, where=["si_fire_delay >= 10"])
+        got = sorted(int(r["si_fire_delay"]) for r in rows)
+        assert got == [10, 40]
+
+    def test_bits_numeric_predicate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for bits in (9, 13, 30):
+            spec = accuracy_job(
+                "em3d", SIZE, PolicySpec(name="ltp", bits=bits)
+            )
+            cache.put(spec, execute_spec(spec))
+        rows = run_query(cache.index, where=["bits < 13"])
+        assert [r["bits"] for r in rows] == [9]
+
+    def test_python_predicate_matches_numeric_coercion(self):
+        from repro.store import parse_predicate, predicate_matches
+
+        row = {"si_fire_delay": "10", "metrics": {"accuracy": 0.25}}
+        assert predicate_matches(
+            row, parse_predicate("si_fire_delay >= 10")
+        )
+        assert not predicate_matches(
+            row, parse_predicate("si_fire_delay < 9")
+        )
+        assert predicate_matches(
+            row, parse_predicate("accuracy < 0.5")
+        )
+        # missing names never match, matching SQL semantics
+        assert not predicate_matches(
+            row, parse_predicate("nonexistent > 0")
+        )
