@@ -7,10 +7,18 @@ already proves the cores byte-identical, this proves the fast one is
 actually fast. The BENCH record's ``stats_s`` times the fast core (the
 default engine, what every runner uses), with the reference time and
 the speedup in ``extra_info``.
+
+The same grid also gates the telemetry layer's overhead budget: the
+fast core is timed with collection on (the default, and what the
+``stats_s`` measurement runs under) and fully disabled, and the ratio
+must stay under 5% — the engine hot loop is not instrumented
+per-event, so anything larger means an instrument crept onto the hot
+path (see ``docs/observability.md``).
 """
 
 import time
 
+import repro.telemetry as telemetry
 from benchmarks.conftest import save_rendered
 from repro.experiments import figure9
 from repro.protocol.states import ProtocolVariant
@@ -54,15 +62,37 @@ def test_engine_cores(benchmark):
                 programs[(spec.workload, spec.size, spec.overrides)]
             )
 
-    start = time.perf_counter()
-    grid("reference")
-    reference_s = time.perf_counter() - start
+    was_enabled = telemetry.enabled()
+    telemetry.set_enabled(True)
+    try:
+        start = time.perf_counter()
+        grid("reference")
+        reference_s = time.perf_counter() - start
 
-    benchmark.pedantic(lambda: grid("fast"), rounds=1, iterations=1)
-    stats = getattr(benchmark.stats, "stats", benchmark.stats)
-    fast_s = stats.mean
+        # fast core, telemetry collecting (the shipped default)
+        benchmark.pedantic(
+            lambda: grid("fast"), rounds=1, iterations=1
+        )
+        stats = getattr(benchmark.stats, "stats", benchmark.stats)
+        fast_s = stats.mean
 
+        # overhead gate: the same grid with instruments collecting
+        # vs short-circuited, interleaved and min-of-two per mode so
+        # single-run jitter (easily a few percent on shared runners)
+        # can't drown the signal being gated
+        samples = {True: [fast_s], False: []}
+        for enabled in (False, True, False):
+            telemetry.set_enabled(enabled)
+            start = time.perf_counter()
+            grid("fast")
+            samples[enabled].append(time.perf_counter() - start)
+    finally:
+        telemetry.set_enabled(was_enabled)
+
+    fast_on_s = min(samples[True])
+    fast_off_s = min(samples[False])
     speedup = reference_s / fast_s
+    overhead = fast_on_s / fast_off_s - 1.0
     benchmark.extra_info["specs"] = len(specs)
     benchmark.extra_info["reference_s"] = round(reference_s, 3)
     benchmark.extra_info["reference_specs_per_s"] = round(
@@ -72,6 +102,9 @@ def test_engine_cores(benchmark):
         len(specs) / fast_s, 3
     )
     benchmark.extra_info["engine_speedup"] = round(speedup, 3)
+    benchmark.extra_info["fast_telemetry_on_s"] = round(fast_on_s, 3)
+    benchmark.extra_info["fast_telemetry_off_s"] = round(fast_off_s, 3)
+    benchmark.extra_info["telemetry_overhead"] = round(overhead, 4)
     save_rendered(
         "engine_cores",
         f"timing-engine cores on the figure-9 grid "
@@ -80,8 +113,16 @@ def test_engine_cores(benchmark):
         f"({len(specs) / reference_s:5.2f} specs/s)\n"
         f"  fast       {fast_s:7.2f}s "
         f"({len(specs) / fast_s:5.2f} specs/s)\n"
-        f"  speedup    {speedup:6.2f}x",
+        f"  speedup    {speedup:6.2f}x\n"
+        f"  telemetry  {overhead:+7.1%} "
+        f"(on: {fast_on_s:.2f}s, off: {fast_off_s:.2f}s)",
     )
     # the point of shipping a second core; measured ~2.1x, gated
     # loosely so shared-runner noise can't flake the job
     assert speedup >= 1.6, f"fast core only {speedup:.2f}x"
+    # telemetry folds engine counters once per spec, never per event;
+    # the budget is mostly noise allowance for grid-length timings
+    assert overhead < 0.05, (
+        f"telemetry overhead {overhead:.1%} (on {fast_on_s:.2f}s vs "
+        f"off {fast_off_s:.2f}s)"
+    )

@@ -12,12 +12,17 @@ End-to-end, through the real CLI entry points:
    one grid per tenant — then a third warm submission that must be
    served entirely from the service's cache, exercising the
    cross-grid amortization serve mode exists for;
-5. assert every report the service published is byte-identical to the
+5. poll the service's observability endpoint (``--metrics-port 0``)
+   throughout: ``/healthz`` must expose a frame taken *mid-drain*
+   (a worker draining, or the drain counted while work is still
+   queued), and a live ``/metrics`` scrape must show tenant/lease
+   counters consistent with the exit summary the service prints;
+6. assert every report the service published is byte-identical to the
    golden bytes, that the autoscaler scaled up from zero, and that it
    scaled *down* mid-queue by draining a worker (protocol v3: the
    ``fleet_events.jsonl`` log records a ``down`` with a non-empty
    queue, and the serve summary counts at least one drain);
-6. run ``report --html`` against the smoke cache and assert the
+7. run ``report --html`` against the smoke cache and assert the
    rendered site covers the fleet's scale-up and the submitted
    experiments (CI uploads the site directory as an artifact).
 
@@ -33,10 +38,12 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 from repro.experiments.cli import main as cli_main
 from repro.runner import PolicySpec, ResultCache, Runner, timing_job
+from repro.telemetry.top import metric_total, parse_prometheus
 
 SIZE = "tiny"
 #: one grid per tenant — distinct workloads so the two concurrent
@@ -71,6 +78,7 @@ def _start_serve(cache_dir: Path):
             "--lease-ttl", "10",
             "--grids", "3",
             "--auth-token", AUTH_TOKEN,
+            "--metrics-port", "0",
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -97,6 +105,27 @@ def _start_serve(cache_dir: Path):
     raise AssertionError(
         "serve never announced an address:\n" + "\n".join(lines)
     )
+
+
+def _wait_for_metrics(proc, lines, timeout=60):
+    """The metrics line prints right after the listen line."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        for line in lines:
+            match = re.search(r"metrics on (http://\S+)/metrics", line)
+            if match:
+                return match.group(1)
+        if proc.poll() is not None:
+            break
+        time.sleep(0.05)
+    raise AssertionError(
+        "serve never announced a metrics endpoint:\n" + "\n".join(lines)
+    )
+
+
+def _fetch(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        return resp.read().decode("utf-8")
 
 
 def _submit(address, workload, token):
@@ -128,7 +157,11 @@ def main(argv) -> int:
         }
 
         proc, address, lines = _start_serve(cache_dir)
+        health_frames = []
+        stop_polling = threading.Event()
         try:
+            metrics_base = _wait_for_metrics(proc, lines)
+
             # wrong token: rejected during the HMAC handshake, before
             # the submit frame is ever dispatched — and it must not
             # consume one of the service's --grids slots
@@ -139,7 +172,23 @@ def main(argv) -> int:
             )
 
             # two tenants submit concurrently; the fair-share broker
-            # serves both grids from the same autoscaled fleet
+            # serves both grids from the same autoscaled fleet —
+            # while a background poller watches /healthz the way an
+            # external monitor would, from first submit all the way
+            # through the service's own shutdown drain
+            def poll_health():
+                while not stop_polling.is_set():
+                    try:
+                        health_frames.append(
+                            json.loads(_fetch(metrics_base, "/healthz"))
+                        )
+                    except Exception:
+                        # endpoint not up yet / torn down at exit
+                        pass
+                    stop_polling.wait(0.005)
+
+            poller = threading.Thread(target=poll_health, daemon=True)
+            poller.start()
             codes = {}
             tenants = [
                 threading.Thread(
@@ -156,6 +205,34 @@ def main(argv) -> int:
             for workload, rc in codes.items():
                 assert rc == 0, f"{workload} submit exited {rc}"
 
+            # a live scrape, while the service still runs: the two
+            # tenant grids' traffic must already be on the wire
+            specs_total = sum(len(_grid(w)) for w in WORKLOADS)
+            health = json.loads(_fetch(metrics_base, "/healthz"))
+            assert health["fleet"]["policy"], (
+                "fleet section missing from /healthz"
+            )
+            scraped_drains = health["stats"]["drains"]
+            scraped_auth = health["stats"]["auth_failures"]
+            assert scraped_drains >= 1, "drain missing from /healthz"
+            assert scraped_auth >= 1, (
+                "auth failure missing from /healthz"
+            )
+            samples = parse_prometheus(_fetch(metrics_base, "/metrics"))
+            assert metric_total(
+                samples, "repro_broker_results_total", outcome="first"
+            ) >= specs_total
+            assert metric_total(
+                samples, "repro_broker_leases_total"
+            ) >= specs_total
+            assert metric_total(
+                samples, "repro_broker_auth_failures_total"
+            ) == scraped_auth
+            assert metric_total(
+                samples,
+                "repro_broker_lease_to_publish_seconds_count",
+            ) >= specs_total
+
             # warm: served entirely from the service's cache
             rc = _submit(address, WORKLOADS[0], AUTH_TOKEN)
             assert rc == 0, f"warm submit exited {rc}"
@@ -164,7 +241,33 @@ def main(argv) -> int:
                 f"serve exited {proc.returncode}:\n"
                 + "\n".join(lines)
             )
+            stop_polling.set()
+            poller.join(timeout=5)
+
+            # the drain phases were observable over HTTP while in
+            # flight: a worker mid drain-handshake, the drain counted
+            # with work still outstanding, or the service's own
+            # shutdown drain (``closing`` stays scrapeable until the
+            # fleet has wound down)
+            mid_drain = [
+                doc for doc in health_frames
+                if any(
+                    w.get("draining")
+                    for w in doc.get("workers", {}).values()
+                )
+                or doc.get("closing")
+                or (
+                    doc.get("stats", {}).get("drains", 0) > 0
+                    and doc.get("queue_depth", 0) + doc.get("leased", 0)
+                    > 0
+                )
+            ]
+            assert mid_drain, (
+                f"no mid-drain /healthz frame in "
+                f"{len(health_frames)} polled frame(s)"
+            )
         finally:
+            stop_polling.set()
             if proc.poll() is None:
                 proc.kill()
 
@@ -190,18 +293,35 @@ def main(argv) -> int:
             "serve summary recorded no auth failures:\n"
             + "\n".join(lines)
         )
-        assert re.search(r"[1-9]\d* drain", summary[0]), (
+        summary_drains = int(
+            re.search(r"(\d+) drain", summary[0]).group(1)
+        )
+        summary_auth = int(
+            re.search(r"(\d+) auth failure", summary[0]).group(1)
+        )
+        assert summary_drains >= 1, (
             f"no worker was drained: {summary[0]}"
+        )
+        # the live scrape and the exit summary told the same story:
+        # no auth failure happened after the scrape (the warm grid
+        # authenticates), and drains only accumulate
+        assert summary_auth == scraped_auth, (
+            f"scraped {scraped_auth} auth failure(s), summary says "
+            f"{summary_auth}"
+        )
+        assert summary_drains >= scraped_drains, (
+            f"scraped {scraped_drains} drain(s), summary says "
+            f"{summary_drains}"
         )
 
         # the autoscaler did its job, in both directions: a scale-up
         # from zero, and a mid-queue scale-down (allowed since
         # protocol v3 — retirement drains instead of terminating)
-        events = [
-            json.loads(line)
-            for line in (cache_dir / "claims" / "fleet_events.jsonl")
-            .read_text().splitlines()
-        ]
+        from repro.telemetry import read_jsonl
+
+        events = list(
+            read_jsonl(cache_dir / "claims" / "fleet_events.jsonl")
+        )
         ups = [e for e in events if e["action"] == "up"]
         assert ups, f"no scale-up event recorded: {events}"
         assert ups[0]["live"] == 0, (
@@ -244,7 +364,10 @@ def main(argv) -> int:
         f"rejected, fleet scaled up from zero ({len(ups)} up "
         f"event(s)) and drained down mid-queue "
         f"({len(mid_queue_downs)} of {len(downs)} down event(s)), "
-        f"report site rendered ({1 + len(experiment_pages)} page(s))"
+        f"drain observed live over /healthz ({len(mid_drain)} "
+        f"frame(s)), /metrics scrape consistent with the exit "
+        f"summary, report site rendered "
+        f"({1 + len(experiment_pages)} page(s))"
     )
     return 0
 

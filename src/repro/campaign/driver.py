@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
+import repro.telemetry as _tm
 from repro._fsutil import atomic_write_bytes
 from repro.campaign.metric import InterestingnessMetric
 from repro.campaign.space import (
@@ -46,6 +47,12 @@ STATE_VERSION = 1
 #: executor contract: point -> select()-shaped row (identity columns
 #: + a ``metrics`` mapping + optionally ``digest``)
 Executor = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+#: explored points by campaign + source ("run" fresh, "replay" free)
+_M_POINTS = _tm.counter("repro_campaign_points_total")
+#: metric-interesting points by campaign
+_M_DISCOVERIES = _tm.counter("repro_campaign_discoveries_total")
 
 
 class CampaignError(RuntimeError):
@@ -268,7 +275,8 @@ class CampaignDriver:
                 if deadline is not None and self.clock() >= deadline:
                     stop_reason = "wall-clock"
                     break
-                row = execute(point)
+                with _tm.span("campaign.execute", campaign=self.name):
+                    row = execute(point)
                 outcome = {
                     "point": point,
                     "interesting": self.metric.interesting(row),
@@ -282,6 +290,9 @@ class CampaignDriver:
                 executed += 1
                 source = "run"
             explored.append(outcome)
+            _M_POINTS.inc(campaign=self.name, source=source)
+            if outcome["interesting"]:
+                _M_DISCOVERIES.inc(campaign=self.name)
             if source == "run":
                 # every fresh result lands on disk immediately — a
                 # mid-campaign kill loses at most the in-flight point

@@ -449,6 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
              "scale-down escalates to terminate (default: "
              "max(--lease-ttl, 5))",
     )
+    p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve GET /metrics (Prometheus text) and "
+             "GET /healthz (JSON) on 127.0.0.1:PORT (0 = a free "
+             "port, printed at startup; default: no endpoint); "
+             "`ltp-repro top` reads it",
+    )
     _add_auth_token_arg(p)
     _add_runner_args(p, cache_default=DEFAULT_CACHE_DIR)
     p = sub.add_parser(
@@ -480,6 +487,31 @@ def build_parser() -> argparse.ArgumentParser:
              "scheduling rotation vs other live grids (default: 1)",
     )
     _add_auth_token_arg(p)
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a `ltp-repro serve "
+             "--metrics-port` broker: queue, fleet, per-worker "
+             "rates, lease latency percentiles",
+    )
+    p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the broker's metrics endpoint (printed at serve "
+             "startup), not its lease port",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECS",
+        help="seconds between refreshes (default: 2)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: run until "
+             "interrupted; scripts and tests use 1)",
+    )
+    p.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of redrawing the screen "
+             "(for logs/pipes)",
+    )
     p = sub.add_parser(
         "cache", help="inspect or prune the shared result cache"
     )
@@ -813,6 +845,16 @@ def _backend_from_args(args):
     )
 
 
+def _configure_telemetry(cache_dir) -> None:
+    """Point the span sink at ``<cache>/telemetry/`` (no-op when
+    telemetry is off or there is no cache to sit beside — metrics
+    still work in memory, spans simply have nowhere to land)."""
+    import repro.telemetry as _tm
+
+    if cache_dir and _tm.enabled():
+        _tm.configure(Path(cache_dir) / _tm.TELEMETRY_DIRNAME)
+
+
 def _runner_from_args(args, progress=None) -> Runner:
     if getattr(args, "engine", None):
         # process-wide (and, via REPRO_ENGINE, inherited by every
@@ -823,6 +865,7 @@ def _runner_from_args(args, progress=None) -> Runner:
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir and not getattr(args, "no_cache", False):
         cache = ResultCache(cache_dir, codec=codec)
+        _configure_telemetry(cache_dir)
     # an explicit --trace-cache always wins (even under --no-cache,
     # which disables only the *result* cache); run-all additionally
     # defaults the trace cache to live inside an active result cache
@@ -1435,6 +1478,7 @@ def _serve_command(args) -> int:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
     cache = ResultCache(args.cache_dir, codec=args.codec)
+    _configure_telemetry(args.cache_dir)
     trace_dir = args.trace_cache or str(Path(args.cache_dir) / "traces")
     service = FleetService(
         cache=cache,
@@ -1454,8 +1498,36 @@ def _serve_command(args) -> int:
         auth_token=args.auth_token,
         max_pending_per_client=args.max_pending_per_client,
         drain_grace=args.drain_grace,
+        metrics_port=args.metrics_port,
     )
-    service.start()
+    try:
+        service.start()
+    except OSError as exc:
+        # by far the likeliest bind failure is the metrics port (the
+        # broker defaults to an ephemeral port and binds first); tear
+        # down whatever did start, and name the port so the operator
+        # knows which flag to change
+        try:
+            service.stop(drain_timeout=0.0)
+        except Exception:
+            pass
+        print(
+            f"serve: could not bind the observability endpoint on "
+            f"port {args.metrics_port}: {exc} — pick another "
+            f"--metrics-port (0 = any free port)"
+            if args.metrics_port is not None
+            else f"serve: could not bind: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if service.metrics_address is not None:
+        mhost, mport = service.metrics_address
+        print(
+            f"[serve] metrics on http://{mhost}:{mport}/metrics "
+            f"(health: /healthz — watch live with: ltp-repro top "
+            f"--connect {mhost}:{mport})",
+            flush=True,
+        )
     print(
         f"[serve] policy={policy.name} workers "
         f"{policy.min_workers}..{policy.max_workers}, cooldown "
@@ -1486,6 +1558,24 @@ def _serve_command(args) -> int:
             f"{stats.auth_failures} auth failure(s)"
         )
     return 0
+
+
+def _top_command(args) -> int:
+    from repro.telemetry.top import run_top
+
+    address = args.connect
+    if "://" not in address:
+        address = "http://" + address
+    try:
+        return run_top(
+            address,
+            interval=max(0.1, args.interval),
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _submit_command(args) -> int:
@@ -1553,6 +1643,10 @@ def _submit_command(args) -> int:
 
 def _worker_command(args) -> int:
     host, port = args.connect
+    # a standalone worker has no result cache; its spans land beside
+    # its local trace cache (fleet-forked workers instead inherit the
+    # service's telemetry dir through REPRO_TELEMETRY_DIR)
+    _configure_telemetry(args.trace_cache)
     print(f"[worker] connecting to broker at {host}:{port}")
     try:
         stats = run_worker(
@@ -1653,8 +1747,9 @@ def _profile_command(args) -> int:
             )
     else:
         print(
-            "[profile] (this core keeps no per-kind event counters — "
-            "rerun with --engine fast for the event breakdown)"
+            "[profile] (no events dispatched — both cores report "
+            "per-kind event counters, so an empty breakdown means "
+            "the specs scheduled nothing)"
         )
     if args.json:
         record = {
@@ -1698,6 +1793,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve_command(args)
     if args.command == "submit":
         return _submit_command(args)
+    if args.command == "top":
+        return _top_command(args)
     if args.command == "cache":
         return _cache_command(args)
     if args.command == "query":

@@ -37,15 +37,31 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Deque, List, Optional, Tuple
 
+import repro.telemetry as _tm
 from repro._fsutil import atomic_write_bytes
 from repro.fleet.policy import FleetSignals, ScalingPolicy
 from repro.fleet.supervisor import WorkerSupervisor
+from repro.telemetry.sink import RotatingJsonlWriter
 
 #: scaling-event log cap — a long-lived service keeps the recent tail
 EVENT_LOG_LIMIT = 256
 
 #: events mirrored into the fleet.json status file
 STATUS_EVENTS = 8
+
+#: rotation cap per fleet_events.jsonl segment (events are ~200 bytes;
+#: one segment holds ~5k of them, and EVENTS_LOG_BACKUPS more segments
+#: are kept, so the on-disk history is bounded however long the
+#: service lives — repro report reads the rotated set oldest-first)
+EVENTS_LOG_MAX_BYTES = 1024 * 1024
+EVENTS_LOG_BACKUPS = 3
+
+_M_EVENTS = _tm.counter("repro_fleet_scaling_events_total")
+_G_LIVE = _tm.gauge("repro_fleet_live_workers")
+_G_DESIRED = _tm.gauge("repro_fleet_desired_workers")
+_G_QUEUE = _tm.gauge("repro_fleet_queue_depth")
+_G_THROUGHPUT = _tm.gauge("repro_fleet_throughput_jobs_per_min")
+_G_HALTED = _tm.gauge("repro_fleet_halted")
 
 
 @dataclass(frozen=True)
@@ -104,6 +120,15 @@ class FleetController:
         )
         self.events_path = (
             Path(events_path) if events_path is not None else None
+        )
+        self._events_log = (
+            RotatingJsonlWriter(
+                self.events_path,
+                max_bytes=EVENTS_LOG_MAX_BYTES,
+                backups=EVENTS_LOG_BACKUPS,
+            )
+            if self.events_path is not None
+            else None
         )
         self.events: Deque[ScalingEvent] = deque(maxlen=EVENT_LOG_LIMIT)
         self.desired = 0
@@ -188,6 +213,13 @@ class FleetController:
             self.desired = desired
         self.events.extend(new_events)
         self._append_events(new_events)
+        for event in new_events:
+            _M_EVENTS.inc(action=event.action)
+        _G_LIVE.set(self.supervisor.live())
+        _G_DESIRED.set(self.desired)
+        _G_QUEUE.set(queue_depth)
+        _G_THROUGHPUT.set(throughput)
+        _G_HALTED.set(1 if self.halted else 0)
         # the mirror shows the post-scale fleet, not the sample that
         # triggered the change
         self._write_status(
@@ -208,17 +240,14 @@ class FleetController:
     # -- status mirror -------------------------------------------------
 
     def _append_events(self, new_events: List[ScalingEvent]) -> None:
-        if self.events_path is None or not new_events:
+        if self._events_log is None or not new_events:
             return
-        lines = "".join(
-            json.dumps(asdict(event)) + "\n" for event in new_events
+        # size-rotated (path -> path.1 -> ...): a long-lived service
+        # cannot grow the log without bound, and the writer swallows
+        # I/O errors — the log is advisory, never fails the loop
+        self._events_log.write_lines(
+            [asdict(event) for event in new_events]
         )
-        try:
-            self.events_path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.events_path, "a", encoding="utf-8") as log:
-                log.write(lines)
-        except OSError:
-            pass  # the log is advisory; never fail the control loop
 
     def _write_status(self, sig: FleetSignals, now: float) -> None:
         if self.status_path is None:

@@ -41,6 +41,7 @@ from repro.fleet.supervisor import WorkerSupervisor
 from repro.runner.cache import ResultCache
 from repro.runner.claims import CLAIMS_DIRNAME, completions
 from repro.runner.remote import DEFAULT_LEASE_TTL, Broker
+from repro.telemetry import MetricsServer
 from repro.workloads import TraceCache
 
 #: filename of the controller's status mirror, inside the claims dir
@@ -109,6 +110,15 @@ class FleetService:
         drain_grace: seconds a drained worker may run before the
             supervisor escalates to terminate; default
             ``max(lease_ttl, 5.0)``.
+        metrics_port: when set, :meth:`start` also binds a plain-HTTP
+            observability endpoint on this port (0 picks a free one):
+            ``GET /metrics`` serves Prometheus text (broker series
+            merged with worker-heartbeat snapshots), ``GET /healthz``
+            serves the JSON health document of :meth:`health`. Bound
+            to ``metrics_host`` (default loopback) — put a reverse
+            proxy in front for anything wider; the endpoint itself is
+            unauthenticated.
+        metrics_host: bind host for the metrics endpoint.
     """
 
     def __init__(
@@ -129,6 +139,8 @@ class FleetService:
         auth_token: Optional[str] = None,
         max_pending_per_client: Optional[int] = None,
         drain_grace: Optional[float] = None,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
         if cache is None:
             raise ConfigurationError(
@@ -163,6 +175,10 @@ class FleetService:
             max(lease_ttl, 5.0) if drain_grace is None
             else max(0.0, float(drain_grace))
         )
+        self.metrics_port = metrics_port
+        self.metrics_host = metrics_host
+        self.metrics_server: Optional[MetricsServer] = None
+        self.metrics_address: Optional[Tuple[str, int]] = None
         self.supervisor: Optional[WorkerSupervisor] = None
         self.controller: Optional[FleetController] = None
         self.address: Optional[Tuple[str, int]] = None
@@ -181,6 +197,32 @@ class FleetService:
             self.broker.queue_depth(),
             self._throughput.observe(total_done, time.time()),
         )
+
+    # -- observability -------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` document: broker health plus the fleet
+        layer the broker cannot see — desired-vs-live workers, the
+        crash-breaker state, and supervisor lifetime totals."""
+        doc = self.broker.health()
+        fleet = {
+            "policy": self.policy.name,
+            "desired": (
+                self.controller.desired if self.controller else 0
+            ),
+            "halted": (
+                self.controller.halted if self.controller else False
+            ),
+        }
+        if self.supervisor is not None:
+            fleet.update(
+                live=self.supervisor.live(),
+                draining=self.supervisor.pending_retirement(),
+                spawned=self.supervisor.spawned,
+                retired=self.supervisor.retired,
+            )
+        doc["fleet"] = fleet
+        return doc
 
     # -- lifecycle -----------------------------------------------------
 
@@ -219,6 +261,17 @@ class FleetService:
             ),
         )
         self.controller.start()
+        if self.metrics_port is not None:
+            # bind after the broker so a metrics-port conflict fails
+            # the whole startup before any worker is forked; the
+            # OSError propagates with the colliding port in its text
+            self.metrics_server = MetricsServer(
+                metrics_fn=self.broker.render_metrics,
+                health_fn=self.health,
+                host=self.metrics_host,
+                port=self.metrics_port,
+            )
+            self.metrics_address = self.metrics_server.start()
         return self.address
 
     def serve(
@@ -259,6 +312,12 @@ class FleetService:
             ):
                 time.sleep(0.05)
             self.supervisor.stop()
+        # the scrape endpoint outlives the drain window above so an
+        # operator (or the smoke check) can watch /healthz flip to
+        # closing and the worker table empty out
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
         self.broker.stop()
 
     def __enter__(self) -> "FleetService":

@@ -30,7 +30,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+import repro.telemetry as _tm
 from repro.runner.remote import run_worker
+
+#: fleet lifecycle counters, labeled by what happened (spawn /
+#: drain / terminate / escalate) — see docs/observability.md
+_M_LIFECYCLE = _tm.counter("repro_fleet_worker_lifecycle_total")
 
 # Workers are spawned from the controller's background thread while
 # the broker's listener/handler threads are live — forking a
@@ -186,6 +191,7 @@ class WorkerSupervisor:
                     proc.join(timeout=5)
                     del self._procs[name]
                     del self._draining[name]
+                    _M_LIFECYCLE.inc(event="escalate")
                 continue
             proc.join(timeout=0)
             del self._procs[name]
@@ -227,6 +233,7 @@ class WorkerSupervisor:
             name = self._next_name()
             self._procs[name] = self.spawn(name, self.address)
             self.spawned += 1
+            _M_LIFECYCLE.inc(event="spawn")
             delta += 1
         while self.live() - self.pending_retirement() > desired:
             name = next(
@@ -250,12 +257,14 @@ class WorkerSupervisor:
         if self.drain is not None and self.drain(name):
             self._draining[name] = self.clock() + self.drain_grace
             self.retired += 1
+            _M_LIFECYCLE.inc(event="drain")
             return
         proc = self._procs.pop(name)
         self._draining.pop(name, None)
         proc.terminate()
         proc.join(timeout=5)
         self.retired += 1
+        _M_LIFECYCLE.inc(event="terminate")
 
     def stop(self, timeout: float = 5.0) -> None:
         """Terminate every worker (service shutdown)."""

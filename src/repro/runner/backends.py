@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 import repro.runner.runner as _execution
+import repro.telemetry as _tm
 from repro.runner.claims import (
     DEFAULT_TTL,
     Backoff,
@@ -53,6 +54,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: what a backend yields per resolved spec: (spec, report, source)
 Outcome = Tuple[JobSpec, Any, str]
+
+#: miss batches handed to each backend, labeled by backend name —
+#: with repro_runner_specs_executed_total this shows how work reached
+#: execution (see docs/observability.md)
+_M_BATCHES = _tm.counter("repro_runner_backend_batches_total")
+_M_BATCH_SPECS = _tm.counter("repro_runner_backend_specs_total")
 
 
 class ExecutionBackend:

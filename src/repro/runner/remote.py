@@ -109,6 +109,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import repro.runner.runner as _execution
+import repro.telemetry as _tm
 from repro.codecs import CodecError, blob_codec, get_codec, pack, unpack
 from repro.runner.backends import ExecutionBackend, _trace_codec, _trace_root
 from repro.runner.cache import ResultCache
@@ -180,6 +181,40 @@ def _entry_size(spec: "JobSpec", value: Any) -> int:
     return len(
         pickle.dumps((spec, value), protocol=pickle.HIGHEST_PROTOCOL)
     )
+
+
+# -- wire-layer instruments (see docs/observability.md) ----------------
+# Broker-side series mirror BrokerStats live, so a scrape never waits
+# for the exit summary; the lease-to-publish histogram is the fleet's
+# end-to-end latency (first grant of a key to its publication).
+_M_FRAMES = _tm.counter("repro_broker_frames_total")
+_M_LEASES = _tm.counter("repro_broker_leases_total")
+_M_RESULTS = _tm.counter("repro_broker_results_total")
+_M_RESULT_BYTES = _tm.counter("repro_broker_result_bytes_total")
+_M_SUBMITS = _tm.counter("repro_broker_submits_total")
+_M_AUTH_FAILURES = _tm.counter("repro_broker_auth_failures_total")
+_M_DRAINS = _tm.counter("repro_broker_drains_total")
+_M_TRACE_FETCHES = _tm.counter("repro_broker_trace_fetches_total")
+_M_LEASE_TO_PUBLISH = _tm.histogram(
+    "repro_broker_lease_to_publish_seconds"
+)
+#: stamped broker-side at heartbeat receipt from the worker-measured
+#: round-trip of its previous heartbeat frame
+# broker-stamped, so it lives in the broker family — the worker
+# prefixes below must NOT match it, or an in-process worker (tests,
+# cooperative setups) would echo the gauge back inside its heartbeat
+# snapshot and the scrape would show duplicate series
+_M_HB_RTT = _tm.gauge("repro_broker_heartbeat_rtt_seconds")
+
+# Worker-side series; shipped back to the broker inside heartbeat
+# frames (snapshot prefix below) for fleet-wide /metrics aggregation.
+_WORKER_METRIC_PREFIXES = ("repro_worker_", "repro_runner_")
+_W_EXECUTED = _tm.counter("repro_worker_executed_total")
+_W_EXEC_SECONDS = _tm.histogram("repro_worker_execute_seconds")
+
+#: a worker whose last heartbeat is older than this many lease ttls is
+#: reported stale (not live) in /healthz
+_HEALTH_STALE_TTLS = 2.0
 
 
 class ProtocolError(RuntimeError):
@@ -765,6 +800,17 @@ class Broker:
         self._result_bytes_held = 0
         #: per-worker completed-jobs counters (claims-dir throughput)
         self._counters: Dict[str, CompletionCounter] = {}
+        #: lease key -> trace id, minted at first grant and shipped in
+        #: the lease reply so the worker's execute span and this
+        #: broker's publish span stitch into one cross-process trace
+        self._trace_ids: Dict[str, str] = {}
+        #: lease key -> wall-clock stamp of its first grant, consumed
+        #: at publication by the lease-to-publish histogram
+        self._lease_started: Dict[str, float] = {}
+        #: worker name -> health piggybacked on heartbeat frames:
+        #: {"last_seen", "rtt", "keys", "metrics"} — feeds /healthz
+        #: and fleet-merged /metrics (all mutated under self._lock)
+        self._worker_health: Dict[str, dict] = {}
         self.table = LeaseTable(
             self._by_key,
             ttl=lease_ttl,
@@ -954,6 +1000,7 @@ class Broker:
                 )
             with self._lock:
                 self.stats.auth_failures += 1
+            _M_AUTH_FAILURES.inc()
             return (
                 {
                     "type": "error",
@@ -963,6 +1010,7 @@ class Broker:
             )
         with self._lock:
             self.stats.auth_failures += 1
+        _M_AUTH_FAILURES.inc()
         return (
             {
                 "type": "error",
@@ -988,7 +1036,88 @@ class Broker:
             if name not in self._draining:
                 self._draining.add(name)
                 self.stats.drains += 1
+                _M_DRAINS.inc()
         return True
+
+    # -- observability ---------------------------------------------------
+
+    def worker_snapshots(self) -> Dict[str, dict]:
+        """Per-worker registry snapshots piggybacked on heartbeats —
+        the fleet half of one ``/metrics`` scrape."""
+        with self._lock:
+            return {
+                worker: health["metrics"]
+                for worker, health in self._worker_health.items()
+                if isinstance(health.get("metrics"), dict)
+            }
+
+    def render_metrics(self) -> str:
+        """This process's registry plus every worker's shipped
+        snapshot, as Prometheus exposition text."""
+        return _tm.render_prometheus(
+            _tm.registry().snapshot(), self.worker_snapshots()
+        )
+
+    def health(self) -> dict:
+        """The ``/healthz`` document: queue depth, workers, grids.
+
+        Worker ``age`` is seconds since the last heartbeat; a worker
+        silent for more than ``_HEALTH_STALE_TTLS`` lease ttls is
+        excluded from ``live_workers`` but still listed. The fleet
+        layer (``repro serve``) merges its supervisor/crash-breaker
+        state on top of this.
+        """
+        now = time.time()
+        stale_after = _HEALTH_STALE_TTLS * self.lease_ttl
+        with self._lock:
+            states = self.table.states()
+            depth = sum(
+                1 for state in states.values() if state == PENDING
+            )
+            leased = sum(
+                1 for state in states.values() if state == LEASED
+            )
+            workers = {}
+            live = 0
+            for name, health in self._worker_health.items():
+                age = max(0.0, now - health["last_seen"])
+                fresh = age <= stale_after
+                live += fresh
+                workers[name] = {
+                    "age_s": round(age, 3),
+                    "rtt_s": health.get("rtt"),
+                    "keys": health.get("keys", 0),
+                    "live": fresh,
+                    "draining": name in self._draining,
+                }
+            grids_pending = {
+                gid: len(grid.outstanding)
+                for gid, grid in self._grids.items()
+            }
+            stats = {
+                "specs": self.stats.specs,
+                "results": self.stats.results,
+                "duplicates": self.stats.duplicates,
+                "errors": self.stats.errors,
+                "leases": self.stats.leases,
+                "grids": self.stats.grids,
+                "grids_done": self.stats.grids_done,
+                "rejected_submits": self.stats.rejected_submits,
+                "auth_failures": self.stats.auth_failures,
+                "drains": self.stats.drains,
+            }
+        return {
+            "queue_depth": depth,
+            "leased": leased,
+            "live_workers": live,
+            "workers": workers,
+            "grids_pending": grids_pending,
+            "draining": len(
+                [w for w in workers.values() if w["draining"]]
+            ),
+            "closing": self.closing,
+            "stats": stats,
+        }
 
     def _dispatch(self, message: Any) -> dict:
         if not isinstance(message, dict):
@@ -996,6 +1125,7 @@ class Broker:
         self._last_activity = time.monotonic()
         mtype = message.get("type")
         worker = str(message.get("worker", "?"))
+        _M_FRAMES.inc(type=str(mtype))
         if mtype == "auth":
             # open broker (or an already-authenticated connection):
             # acknowledge so token-configured clients interoperate
@@ -1030,7 +1160,12 @@ class Broker:
                 welcome["trace_offers"] = offers
             return welcome
         if mtype == "lease":
-            return self._handle_lease(worker, int(message.get("max", 1)))
+            with _tm.span("broker.lease", worker=worker) as s:
+                reply = self._handle_lease(
+                    worker, int(message.get("max", 1))
+                )
+                s["keys"] = len(reply.get("leases") or ())
+            return reply
         if mtype in ("submit", "grid-poll") and not self.persistent:
             # a per-grid run-all broker serves exactly the grid its
             # owner streams: foreign submissions would extend the
@@ -1063,8 +1198,27 @@ class Broker:
             )
         if mtype == "heartbeat":
             keys = [str(k) for k in message.get("keys", ())]
+            # optional v3+ piggyback: the worker's own registry
+            # snapshot and the round-trip it measured on its previous
+            # heartbeat — ignored by design on brokers that predate
+            # them, stamped here for /healthz and fleet /metrics
+            rtt = message.get("rtt")
+            snapshot = message.get("metrics")
+            health = {
+                "last_seen": time.time(),
+                "rtt": float(rtt) if isinstance(rtt, (int, float)) else None,
+                "keys": len(keys),
+            }
+            if isinstance(snapshot, dict):
+                health["metrics"] = snapshot
             with self._lock:
                 refreshed = self.table.heartbeat(worker, keys)
+                previous = self._worker_health.get(worker)
+                if previous is not None and "metrics" not in health:
+                    health["metrics"] = previous.get("metrics")
+                self._worker_health[worker] = health
+            if health["rtt"] is not None:
+                _M_HB_RTT.set(health["rtt"], worker=worker)
             # claim-file I/O happens outside the lock: the mirror is
             # advisory, and flock latency must not serialize the fleet
             if self._claims is not None and refreshed:
@@ -1073,6 +1227,8 @@ class Broker:
         if mtype == "bye":
             with self._lock:
                 returned = self.table.release(worker)
+                self._worker_health.pop(worker, None)
+            _M_HB_RTT.remove(worker=worker)
             if self._claims is not None:
                 for key in returned:
                     self._claims.release(key)
@@ -1125,6 +1281,18 @@ class Broker:
             keys = self.table.lease(worker, max(1, max_n))
             reclaimed = self.table.drain_reclaimed()
             self.stats.leases += len(keys)
+            now = time.time()
+            traces = {}
+            for key in keys:
+                # mint once per key: a reassigned lease keeps its
+                # trace id and its original first-grant stamp, so the
+                # lease-to-publish histogram measures the fleet's
+                # end-to-end latency including retries
+                tid = self._trace_ids.get(key)
+                if tid is None:
+                    tid = self._trace_ids[key] = _tm.new_trace_id()
+                    self._lease_started[key] = now
+                traces[key] = tid
             if keys:
                 done = False
             elif self.persistent:
@@ -1143,10 +1311,14 @@ class Broker:
             for key in keys:
                 self._claims.acquire(key)  # advisory mirror
         if keys:
+            _M_LEASES.inc(len(keys), worker=worker)
             reply = {
                 "type": "specs",
                 "leases": [(key, self._by_key[key]) for key in keys],
                 "done": False,
+                # per-key trace ids: the worker adopts them around
+                # execution so its spans join this broker's trace
+                "traces": traces,
             }
             if self.ship_traces:
                 # trace-offer: advertise the content addresses of the
@@ -1246,6 +1418,7 @@ class Broker:
                 )
                 if held + incoming > self.max_pending_per_client:
                     self.stats.rejected_submits += 1
+                    _M_SUBMITS.inc(outcome="busy")
                     return {
                         "type": "busy",
                         "retry_after": max(1.0, self.poll * 10),
@@ -1321,6 +1494,7 @@ class Broker:
             self.stats.specs += len(new_keys)
             self.stats.grids += 1
             self._grids[gid] = grid
+        _M_SUBMITS.inc(outcome="admitted")
         return {
             "type": "grid",
             "grid": gid,
@@ -1462,6 +1636,7 @@ class Broker:
         with self._lock:
             self.stats.trace_fetches += 1
             self.stats.trace_bytes += len(blob)
+        _M_TRACE_FETCHES.inc()
         return {
             "type": "trace",
             "key": key,
@@ -1547,10 +1722,27 @@ class Broker:
             if first:
                 self.stats.results += 1
                 self.stats.result_bytes += len(data)
+                leased_at = self._lease_started.pop(key, None)
+                trace_id = self._trace_ids.get(key)
             else:
                 self.stats.duplicates += 1
         if not first:
+            _M_RESULTS.inc(outcome="duplicate")
             return {"type": "ok", "duplicate": True}
+        _M_RESULTS.inc(outcome="first")
+        _M_RESULT_BYTES.inc(len(data))
+        if leased_at is not None:
+            _M_LEASE_TO_PUBLISH.observe(max(0.0, time.time() - leased_at))
+        with _tm.bind_trace(trace_id), _tm.span(
+            "broker.publish", worker=worker, key=key
+        ):
+            return self._publish_result(worker, key, raw, value)
+
+    def _publish_result(
+        self, worker: str, key: str, raw, value
+    ) -> dict:
+        """First completion of ``key``: publish + fan out (the half of
+        ``_handle_result`` the publish span times)."""
         # the file I/O stays outside the lock so slow cache disks do
         # not serialize the whole fleet's traffic; ordering still
         # guarantees publish-before-release for the mirror claim
@@ -1633,6 +1825,7 @@ class Broker:
     def _handle_error(self, worker: str, key, message: str) -> dict:
         if key not in self._by_key:
             return {"type": "error", "message": f"unknown key {key!r}"}
+        _M_RESULTS.inc(outcome="error")
         with self._lock:
             self.stats.errors += 1
             final = self.table.fail(key, worker, message)
@@ -1956,15 +2149,28 @@ def run_worker(
                 # the second connection authenticates independently:
                 # broker auth state is per-connection, not per-worker
                 authenticate(hb_stream, auth_token, worker_name)
+            rtt: Optional[float] = None
             while not stop.wait(max(0.05, ttl / 4.0)):
                 with held_lock:
                     keys = sorted(held)
-                if keys:
-                    _request(hb_stream, {
-                        "type": "heartbeat",
-                        "worker": worker_name,
-                        "keys": keys,
-                    })
+                # every beat ships this worker's registry snapshot and
+                # the round-trip measured on the *previous* beat; the
+                # broker stamps both into /healthz and fleet /metrics.
+                # Optional keys: pre-v3 brokers simply ignore them.
+                frame = {
+                    "type": "heartbeat",
+                    "worker": worker_name,
+                    "keys": keys,
+                }
+                if rtt is not None:
+                    frame["rtt"] = round(rtt, 6)
+                if _tm.enabled():
+                    frame["metrics"] = _tm.registry().snapshot(
+                        prefixes=_WORKER_METRIC_PREFIXES
+                    )
+                sent = time.perf_counter()
+                _request(hb_stream, frame)
+                rtt = time.perf_counter() - sent
         except (OSError, ProtocolError):
             pass  # broker went away; the main loop will notice
         finally:
@@ -2035,9 +2241,23 @@ def run_worker(
                         stream, worker_name, leases, offers,
                         stats, local_traces,
                     )
+            lease_traces = reply.get("traces") or {}
             for key, spec in leases:
                 try:
-                    value = _execution.execute_spec(spec)
+                    # adopt the broker-minted trace id so this span
+                    # and the broker's publish span stitch into one
+                    # cross-process trace for the key
+                    started = time.perf_counter()
+                    with _tm.bind_trace(lease_traces.get(key)), \
+                            _tm.span(
+                                "worker.execute",
+                                worker=worker_name,
+                                kind=spec.kind,
+                            ):
+                        value = _execution.execute_spec(spec)
+                    _W_EXEC_SECONDS.observe(
+                        time.perf_counter() - started, kind=spec.kind
+                    )
                     data = pack(
                         pickle.dumps(
                             value, protocol=pickle.HIGHEST_PROTOCOL
@@ -2057,10 +2277,12 @@ def run_worker(
                         "report": data,
                     })
                     stats.executed += 1
+                    _W_EXECUTED.inc(outcome="ok")
                 except (OSError, ProtocolError):
                     raise  # lost the broker: nothing left to report to
                 except Exception:
                     stats.failed += 1
+                    _W_EXECUTED.inc(outcome="failed")
                     _request(stream, {
                         "type": "error",
                         "worker": worker_name,

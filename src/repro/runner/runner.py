@@ -32,9 +32,11 @@ install the cache at start-up).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+import repro.telemetry as _tm
 from repro.analysis.sharing import census
 from repro.errors import ConfigurationError
 from repro.protocol.states import ProtocolVariant
@@ -56,6 +58,15 @@ _TRACE_CACHE: Optional[TraceCache] = None
 #: progress callback: (done, total, spec, source) with source one of
 #: "memo" | "cache" | "run" | "peer"
 ProgressFn = Callable[[int, int, JobSpec, str], None]
+
+# -- execution-layer instruments (see docs/observability.md) -----------
+# "repro_runner_" prefixed series ride worker heartbeat frames to the
+# broker, so a fleet scrape shows per-worker execution breakdowns.
+_M_EXECUTED = _tm.counter("repro_runner_specs_executed_total")
+_M_EXEC_SECONDS = _tm.histogram("repro_runner_execute_seconds")
+_M_TRACE_BUILDS = _tm.counter("repro_runner_trace_builds_total")
+_M_ENGINE_EVENTS = _tm.counter("repro_engine_events_total")
+_M_SOURCES = _tm.counter("repro_runner_results_total")
 
 
 def _swap_trace_cache(cache: Optional[TraceCache]) -> Optional[TraceCache]:
@@ -89,7 +100,11 @@ def _programs_for(spec: JobSpec) -> ProgramSet:
         workload = get_workload(
             spec.workload, spec.size, **dict(spec.overrides)
         )
-        programs = cached_build(workload, _TRACE_CACHE)
+        with _tm.span(
+            "runner.build_trace", workload=spec.workload, size=spec.size
+        ):
+            programs = cached_build(workload, _TRACE_CACHE)
+        _M_TRACE_BUILDS.inc(workload=spec.workload)
         _PROGRAMS[key] = programs
     return programs
 
@@ -112,7 +127,27 @@ def make_timing_engine(spec: JobSpec) -> Any:
 
 
 def execute_spec(spec: JobSpec) -> Any:
-    """Run one spec to completion and return its report object."""
+    """Run one spec to completion and return its report object.
+
+    Instrumented but identity-clean: the spans/counters emitted here
+    never touch the spec, the report, or the cached bytes — telemetry
+    on and off produce byte-identical results.
+    """
+    started = time.perf_counter()
+    with _tm.span(
+        "runner.execute",
+        kind=spec.kind,
+        workload=spec.workload,
+        size=spec.size,
+        policy=spec.policy.name,
+    ):
+        value = _execute_spec_inner(spec)
+    _M_EXECUTED.inc(kind=spec.kind)
+    _M_EXEC_SECONDS.observe(time.perf_counter() - started, kind=spec.kind)
+    return value
+
+
+def _execute_spec_inner(spec: JobSpec) -> Any:
     programs = _programs_for(spec)
     variant = ProtocolVariant[spec.variant.upper()]
     if spec.kind == "census":
@@ -124,7 +159,17 @@ def execute_spec(spec: JobSpec) -> Any:
         sim = AccuracySimulator(spec.policy.build, variant=variant)
         return sim.run(programs)
     if spec.kind == "timing":
-        return make_timing_engine(spec).run(programs)
+        engine = make_timing_engine(spec)
+        report = engine.run(programs)
+        if _tm.enabled():
+            # fold the core's per-kind dispatch counters into the
+            # fleet-visible series (both cores report them)
+            for kind, count in getattr(
+                engine, "event_counts", {}
+            ).items():
+                if count:
+                    _M_ENGINE_EVENTS.inc(count, kind=kind)
+        return report
     raise ConfigurationError(f"unknown job kind {spec.kind!r}")
 
 
@@ -264,9 +309,11 @@ class Runner:
             if source is None:
                 misses.append(spec)
             else:
+                _M_SOURCES.inc(source=source)
                 done += 1
                 self._report(done, total, spec, source)
         for spec, value, source in self._resolve(misses):
+            _M_SOURCES.inc(source=source)
             results[spec] = self._memo[spec] = value
             if source == "run":
                 # self-publishing backends (cooperative, remote) write
@@ -293,6 +340,11 @@ class Runner:
         (a cooperating process published it)."""
         if not misses:
             return
+        from repro.runner.backends import _M_BATCHES, _M_BATCH_SPECS
+
+        name = getattr(self.backend, "name", "unknown")
+        _M_BATCHES.inc(backend=name)
+        _M_BATCH_SPECS.inc(len(misses), backend=name)
         yield from self.backend.run(misses, self)
 
     def _report(

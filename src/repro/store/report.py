@@ -118,6 +118,7 @@ td.num, th.num { text-align: right; }
 }
 svg text { font: 11px system-ui, -apple-system, sans-serif; }
 .kpis { display: flex; flex-wrap: wrap; gap: 24px; }
+.muted { color: var(--muted); font-size: 13px; font-weight: 400; }
 .kpi .value { font-size: 26px; font-weight: 600; }
 .kpi .label { color: var(--text-secondary); font-size: 13px; }
 footer {
@@ -494,8 +495,14 @@ def _experiment_page(
 
 
 def load_fleet(cache_root) -> Dict[str, Any]:
-    """Status + full event history from the claims directory."""
+    """Status + full event history from the claims directory.
+
+    The controller size-rotates its event log (``fleet_events.jsonl``
+    plus ``.1``..``.N`` backups); the rotated segments are read
+    oldest-first so the timeline stays chronological across rotation.
+    """
     from repro.runner.claims import CLAIMS_DIRNAME, completions
+    from repro.telemetry.sink import read_jsonl
 
     claims = Path(cache_root) / CLAIMS_DIRNAME
     status: Dict[str, Any] = {}
@@ -505,20 +512,10 @@ def load_fleet(cache_root) -> Dict[str, Any]:
         )
     except (OSError, ValueError):
         pass
-    events: List[Dict[str, Any]] = []
-    try:
-        with open(
-            claims / "fleet_events.jsonl", encoding="utf-8"
-        ) as log:
-            for line in log:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    events.append(json.loads(line))
-                except ValueError:
-                    continue
-    except OSError:
+    events: List[Dict[str, Any]] = list(
+        read_jsonl(claims / "fleet_events.jsonl")
+    )
+    if not events:
         events = list(status.get("events", []))
     return {
         "status": status,
@@ -625,6 +622,88 @@ def _fleet_section(fleet: Dict[str, Any]) -> str:
     return (
         f'<section class="card"><h2>Fleet</h2>'
         f"{kpis}{timeline}{holder_table}</section>"
+    )
+
+
+# -- telemetry section -------------------------------------------------
+
+
+def load_span_durations(cache_root) -> Dict[str, List[float]]:
+    """Span durations in ms, grouped by span name, from the rotated
+    ``telemetry/spans.jsonl`` beside the cache (empty when telemetry
+    was off or the directory was never configured)."""
+    from repro.telemetry import TELEMETRY_DIRNAME, read_spans
+
+    groups: Dict[str, List[float]] = {}
+    for record in read_spans(Path(cache_root) / TELEMETRY_DIRNAME):
+        name = record.get("name")
+        dur = record.get("dur_ms")
+        if isinstance(name, str) and isinstance(dur, (int, float)):
+            groups.setdefault(name, []).append(float(dur))
+    return groups
+
+
+#: latency-histogram bucket upper bounds (ms); mirrors the shape of
+#: the in-process DEFAULT_BUCKETS but in the units spans record
+_SPAN_BUCKETS_MS = (
+    1.0, 5.0, 10.0, 50.0, 100.0, 500.0,
+    1000.0, 5000.0, 15000.0, 60000.0,
+)
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted sample."""
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def _fmt_ms(value: float) -> str:
+    if value >= 1000.0:
+        return f"{value / 1000.0:.2g}s"
+    return f"{value:g}ms"
+
+
+def _telemetry_section(groups: Dict[str, List[float]]) -> str:
+    if not groups:
+        return (
+            '<section class="card"><h2>Latency</h2>'
+            "<p>No span telemetry recorded (run with telemetry "
+            "enabled and a result cache: spans land in "
+            "<code>telemetry/spans.jsonl</code> beside it).</p>"
+            "</section>"
+        )
+    labels = [
+        f"&le;{_fmt_ms(b)}" for b in _SPAN_BUCKETS_MS
+    ] + [f"&gt;{_fmt_ms(_SPAN_BUCKETS_MS[-1])}"]
+    panels = []
+    for name in sorted(groups):
+        durations = sorted(groups[name])
+        counts: List[Optional[float]] = [0.0] * (
+            len(_SPAN_BUCKETS_MS) + 1
+        )
+        for dur in durations:
+            for i, bound in enumerate(_SPAN_BUCKETS_MS):
+                if dur <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        stats = "  ".join(
+            f"p{int(q * 100)}={_fmt_ms(_quantile(durations, q))}"
+            for q in (0.5, 0.9, 0.99)
+        )
+        panels.append(
+            f"<h3>{_esc(name)} "
+            f'<span class="muted">n={len(durations)}, '
+            f"{_esc(stats)}</span></h3>"
+            + bar_chart_svg(labels, [("spans", counts)])
+        )
+    return (
+        '<section class="card"><h2>Latency</h2>'
+        "<p>Span-duration histograms from the telemetry trace log "
+        "(one panel per instrumented operation).</p>"
+        + "".join(panels)
+        + "</section>"
     )
 
 
@@ -922,11 +1001,15 @@ def generate_report(
         )
     campaigns_html = _campaign_section(load_campaigns(cache.root))
     fleet_html = _fleet_section(load_fleet(cache.root))
+    latency_html = _telemetry_section(
+        load_span_durations(cache.root)
+    )
     bench_html = _bench_section(
         load_bench(bench_dir) if bench_dir else {}
     )
     body = (
-        experiments_html + campaigns_html + fleet_html + bench_html
+        experiments_html + campaigns_html + fleet_html
+        + latency_html + bench_html
     )
     index_path = out / "index.html"
     index_path.write_text(

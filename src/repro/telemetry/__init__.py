@@ -1,0 +1,98 @@
+"""Unified telemetry: metrics registry, span tracing, exposition.
+
+The observability layer the rest of the repo instruments against.
+Stdlib-only, zero-cost when disabled (``REPRO_TELEMETRY=off`` or
+:func:`set_enabled`), and strictly out-of-band: nothing here touches
+spec identity, cache keys, or result bytes.
+
+Four pieces:
+
+* :mod:`repro.telemetry.metrics` — process-global registry of named
+  counters / gauges / fixed-bucket histograms with label support;
+* :mod:`repro.telemetry.spans` — ``with span("broker.lease", ...)``
+  timing blocks emitting schema-versioned JSONL, with trace ids that
+  propagate over the wire so one spec's lease → execute → publish
+  stitches across broker and worker processes;
+* :mod:`repro.telemetry.sink` — the size-capped rotating JSONL writer
+  behind spans and the fleet event log;
+* :mod:`repro.telemetry.exposition` / ``server`` — Prometheus text
+  rendering and the ``/metrics`` + ``/healthz`` HTTP endpoint the
+  serve broker exposes with ``--metrics-port``.
+
+See docs/observability.md for the metric catalog and span schema.
+"""
+
+from repro.telemetry.exposition import CONTENT_TYPE, render_prometheus
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    enabled,
+    gauge,
+    histogram,
+    registry,
+    set_enabled,
+)
+from repro.telemetry.server import MetricsServer
+from repro.telemetry.sink import (
+    DEFAULT_BACKUPS,
+    DEFAULT_MAX_BYTES,
+    RotatingJsonlWriter,
+    read_jsonl,
+    rotated_segments,
+)
+from repro.telemetry.spans import (
+    SPAN_SCHEMA,
+    SPANS_NAME,
+    bind_trace,
+    configure,
+    configured_dir,
+    current_trace_id,
+    new_trace_id,
+    read_spans,
+    shutdown,
+    span,
+)
+
+#: telemetry directory name, created beside the result cache
+TELEMETRY_DIRNAME = "telemetry"
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_BACKUPS",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_BYTES",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "MetricsServer",
+    "REGISTRY",
+    "RotatingJsonlWriter",
+    "SPANS_NAME",
+    "SPAN_SCHEMA",
+    "TELEMETRY_DIRNAME",
+    "bind_trace",
+    "configure",
+    "configured_dir",
+    "counter",
+    "current_trace_id",
+    "enabled",
+    "gauge",
+    "histogram",
+    "new_trace_id",
+    "read_jsonl",
+    "read_spans",
+    "registry",
+    "render_prometheus",
+    "rotated_segments",
+    "set_enabled",
+    "shutdown",
+    "span",
+]

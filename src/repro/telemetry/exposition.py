@@ -1,0 +1,137 @@
+"""Prometheus text exposition (format 0.0.4) from registry snapshots.
+
+:func:`render_prometheus` turns the JSON snapshot shape of
+:meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` into the
+text format scrapers expect: ``# HELP``/``# TYPE`` headers, one line
+per series, histogram buckets cumulated with the trailing ``+Inf``,
+``_sum`` and ``_count`` series. Passing ``worker_snapshots`` merges
+the per-worker registry snapshots the broker aggregates from
+heartbeat frames, each series tagged with a ``worker`` label — one
+scrape covers the whole fleet.
+
+The output is pinned by a golden test; change it deliberately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.telemetry.metrics import parse_label_key
+
+#: content type an HTTP exposition endpoint should declare
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(labels[name])}"' for name in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_bound(bound: float) -> str:
+    return _fmt_value(bound)
+
+
+def _series_labels(
+    key: str, worker: Optional[str]
+) -> Dict[str, str]:
+    labels = parse_label_key(key)
+    if worker is not None:
+        labels["worker"] = worker
+    return labels
+
+
+def render_prometheus(
+    snapshot: Dict[str, dict],
+    worker_snapshots: Optional[Dict[str, Dict[str, dict]]] = None,
+) -> str:
+    """Render one (optionally fleet-merged) snapshot as exposition
+    text. Series sort by metric name, then label string, then worker —
+    deterministic output for the golden test and for diffable scrapes.
+    """
+    sources = [(None, snapshot)]
+    for worker in sorted(worker_snapshots or {}):
+        sources.append((worker, worker_snapshots[worker]))
+
+    # metric name -> (kind, [(labels, payload)...]) merged over sources
+    merged: Dict[str, tuple] = {}
+    for worker, snap in sources:
+        if not isinstance(snap, dict):
+            continue
+        for kind in ("counters", "gauges", "histograms"):
+            for name, series in (snap.get(kind) or {}).items():
+                entry = merged.setdefault(str(name), (kind, []))
+                if entry[0] != kind:
+                    continue  # same name, different kind: first wins
+                for key, payload in series.items():
+                    entry[1].append(
+                        (_series_labels(key, worker), payload)
+                    )
+
+    lines = []
+    for name in sorted(merged):
+        kind, entries = merged[name]
+        entries.sort(key=lambda e: _fmt_labels(e[0]))
+        lines.append(f"# TYPE {name} {kind[:-1]}")
+        if kind == "histograms":
+            for labels, data in entries:
+                try:
+                    bounds = list(data["buckets"])
+                    counts = list(data["counts"])
+                    total = int(data["count"])
+                    total_sum = float(data["sum"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                seen = 0
+                for bound, count in zip(bounds, counts):
+                    seen += int(count)
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _fmt_bound(bound)
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(bucket_labels)} "
+                        f"{seen}"
+                    )
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(inf_labels)} {total}"
+                )
+                lines.append(
+                    f"{name}_sum{_fmt_labels(labels)} "
+                    f"{_fmt_value(total_sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_fmt_labels(labels)} {total}"
+                )
+        else:
+            for labels, value in entries:
+                try:
+                    rendered = _fmt_value(value)
+                except (TypeError, ValueError):
+                    continue
+                lines.append(
+                    f"{name}{_fmt_labels(labels)} {rendered}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

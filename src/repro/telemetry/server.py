@@ -1,0 +1,125 @@
+"""The scrape endpoint: stdlib HTTP server for /metrics and /healthz.
+
+:class:`MetricsServer` binds a ``ThreadingHTTPServer`` (daemon
+threads, no external dependencies) and answers:
+
+* ``GET /metrics`` — Prometheus text exposition, rendered by the
+  injected ``metrics_fn`` (the serve broker passes its own registry
+  snapshot merged with the worker snapshots it aggregated from
+  heartbeat frames);
+* ``GET /healthz`` — a JSON health document from ``health_fn``
+  (queue depth, live/desired workers, per-grid pending, crash-breaker
+  state, per-worker heartbeat ages and round-trip times);
+
+anything else is a 404. The handler never lets a callback exception
+kill the connection thread — it answers 500 with the error name. Port
+conflicts surface as ``OSError`` from :meth:`start` so ``repro
+serve`` can fail fast with a clear message instead of serving without
+observability (see docs/observability.md failure modes).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional, Tuple
+
+from repro.telemetry.exposition import CONTENT_TYPE
+
+
+class MetricsServer:
+    """Serve /metrics (Prometheus text) and /healthz (JSON)."""
+
+    def __init__(
+        self,
+        metrics_fn: Callable[[], str],
+        health_fn: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.metrics_fn = metrics_fn
+        self.health_fn = health_fn
+        self._listen = (host, port)
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Bind + serve on a daemon thread; returns the bound address.
+
+        Raises ``OSError`` when the port is taken — the caller decides
+        whether that is fatal (``repro serve --metrics-port`` treats
+        it as a startup error).
+        """
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # quiet
+                pass
+
+            def _reply(
+                self, status: int, content_type: str, body: bytes
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        self._reply(
+                            200,
+                            CONTENT_TYPE,
+                            outer.metrics_fn().encode("utf-8"),
+                        )
+                    elif path == "/healthz":
+                        payload = json.dumps(
+                            outer.health_fn(), sort_keys=True
+                        )
+                        self._reply(
+                            200,
+                            "application/json; charset=utf-8",
+                            payload.encode("utf-8"),
+                        )
+                    else:
+                        self._reply(
+                            404,
+                            "text/plain; charset=utf-8",
+                            b"try /metrics or /healthz\n",
+                        )
+                except Exception as exc:
+                    try:
+                        self._reply(
+                            500,
+                            "text/plain; charset=utf-8",
+                            f"{type(exc).__name__}: {exc}\n".encode(
+                                "utf-8"
+                            ),
+                        )
+                    except OSError:
+                        pass  # client hung up mid-error
+
+        server = ThreadingHTTPServer(self._listen, _Handler)
+        server.daemon_threads = True
+        self._server = server
+        self.address = server.server_address[:2]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -40,6 +40,37 @@ from repro.trace.program import ProgramSet
 
 PolicyFactory = Callable[[int], SelfInvalidationPolicy]
 
+# -- event kinds shared by both cores ----------------------------------
+# The fast core's calendar records are (time, seq, kind, a, b, c); the
+# reference core tags each scheduled closure with the same kind codes.
+# Both count dispatches per kind so ``engine.event_counts`` (the
+# ``repro profile`` feed) has identical keys — and identical values,
+# since the two cores inline the same operations (immediate si fires,
+# post-reply node resumption) instead of scheduling them.
+K_RUN = 0  # node resumes executing its program
+K_SI_FIRE = 1  # delayed self-invalidation fires
+K_DIR_ARRIVE = 2  # message arrives at a directory home
+K_DIR_DEQUEUE = 3  # directory pops its serialization queue
+K_DIR_COMPLETE = 4  # directory finishes processing a message
+K_REPLY = 5  # data reply lands at the requester
+K_INVALIDATE = 6  # invalidation lands at a sharer
+K_FETCH_INVAL = 7  # owner writeback-invalidate lands
+K_FETCH_DOWNGRADE = 8  # owner downgrade lands
+K_FORWARD = 9  # predicted-consumer forward lands
+
+EVENT_KIND_NAMES = (
+    "run_node",
+    "si_fire",
+    "dir_arrive",
+    "dir_dequeue",
+    "dir_complete",
+    "reply",
+    "invalidate",
+    "fetch_inval",
+    "fetch_downgrade",
+    "forward",
+)
+
 #: environment variable carrying the process-global engine selection
 #: (read by pool/cooperative workers on init, exported by select_engine)
 ENGINE_ENV = "REPRO_ENGINE"

@@ -21,11 +21,14 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Set
 
 from repro.timing.config import SystemConfig
+from repro.timing.core import K_DIR_COMPLETE, K_DIR_DEQUEUE
 from repro.timing.messages import DATA_CARRYING, PARKABLE, Message, MsgType
 from repro.timing.stats import DirectoryStats
 
-#: (time, callback) scheduling function provided by the event loop
-Scheduler = Callable[[int, Callable[[int], None]], None]
+#: (time, event_kind, callback) scheduling function provided by the
+#: event loop; the kind code (repro.timing.core.K_*) feeds the per-kind
+#: dispatch counters both cores report as ``event_counts``
+Scheduler = Callable[[int, int, Callable[[int], None]], None]
 #: handler(message, service_completion_time) applied by the protocol
 ServiceHandler = Callable[[Message, int], None]
 
@@ -115,7 +118,7 @@ class DirectoryEngine:
             return
         at = max(now, self._next_free)
         self._dequeue_scheduled = True
-        self._schedule(at, self._dequeue)
+        self._schedule(at, K_DIR_DEQUEUE, self._dequeue)
 
     def _dequeue(self, now: int) -> None:
         self._dequeue_scheduled = False
@@ -144,7 +147,9 @@ class DirectoryEngine:
         done = start + service
         self._stats.record(queueing=start - msg.arrival, service=service)
         self._in_service[msg.block] = self._in_service.get(msg.block, 0) + 1
-        self._schedule(done, lambda t, m=msg: self._complete(m, t))
+        self._schedule(
+            done, K_DIR_COMPLETE, lambda t, m=msg: self._complete(m, t)
+        )
         self._kick(start)
 
     def _complete(self, msg: Message, now: int) -> None:

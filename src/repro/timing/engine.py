@@ -68,6 +68,17 @@ from repro.protocol.states import (
     ProtocolVariant,
 )
 from repro.timing.config import SystemConfig
+from repro.timing.core import (
+    EVENT_KIND_NAMES,
+    K_DIR_ARRIVE,
+    K_FETCH_DOWNGRADE,
+    K_FETCH_INVAL,
+    K_FORWARD,
+    K_INVALIDATE,
+    K_REPLY,
+    K_RUN,
+    K_SI_FIRE,
+)
 from repro.timing.directory_engine import DirectoryEngine
 from repro.timing.locks import LockManager
 from repro.timing.messages import Message, MsgType
@@ -130,6 +141,10 @@ class TimingSimulator:
         #: 3.3) or approximate sync-boundary-style lateness — the
         #: timeliness-sensitivity ablation sweeps this.
         self._si_fire_delay = si_fire_delay
+        #: per-kind dispatch counts of the last run — same keys (and,
+        #: by construction, same values) as the fast core's, so
+        #: ``repro profile --engine reference`` is not empty
+        self.event_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # top level
@@ -144,8 +159,11 @@ class TimingSimulator:
         self._programs = programs
         n = cfg.num_nodes
 
-        self._events: List[Tuple[int, int, Callable[[int], None]]] = []
+        self._events: List[
+            Tuple[int, int, int, Callable[[int], None]]
+        ] = []
         self._seq = itertools.count()
+        self._counts = [0] * len(EVENT_KIND_NAMES)
         self._last_event_time = 0
         self._ctx = {
             node: NodeContext(node, self._factory(node)) for node in range(n)
@@ -174,8 +192,9 @@ class TimingSimulator:
             self._report.forwarding = ForwardingStats()
 
         for node in range(n):
-            self._at(0, lambda t, node=node: self._run_node(node, t))
+            self._at(0, K_RUN, lambda t, node=node: self._run_node(node, t))
         self._drain()
+        self.event_counts = dict(zip(EVENT_KIND_NAMES, self._counts))
 
         if self._finished != n:
             raise SimulationError(self._stall_diagnostics())
@@ -190,13 +209,18 @@ class TimingSimulator:
             self._report.storage = aggregate_reports(storage)
         return self._report
 
-    def _at(self, time: int, fn: Callable[[int], None]) -> None:
-        heapq.heappush(self._events, (time, next(self._seq), fn))
+    def _at(
+        self, time: int, kind: int, fn: Callable[[int], None]
+    ) -> None:
+        # seq breaks ties before the callback, so closures never compare
+        heapq.heappush(self._events, (time, next(self._seq), kind, fn))
 
     def _drain(self) -> None:
         events = self._events
+        counts = self._counts
         while events:
-            time, _, fn = heapq.heappop(events)
+            time, _, kind, fn = heapq.heappop(events)
+            counts[kind] += 1
             self._last_event_time = time
             fn(time)
 
@@ -329,7 +353,7 @@ class TimingSimulator:
             spins = max(1, self._lock_handoffs(step.lock_id)
                         - ctx.lock_wait_mark)
         self._inject_lock_acquire(ctx, step, spins)
-        self._at(t, lambda t2: self._run_node(node, t2))
+        self._at(t, K_RUN, lambda t2: self._run_node(node, t2))
 
     def _arrive_barrier(self, node: int, t: int) -> None:
         ctx = self._ctx[node]
@@ -342,7 +366,9 @@ class TimingSimulator:
             self._barrier_waiters = []
             self._barrier_last_arrival = 0
             for w in waiters:
-                self._at(release, lambda t2, w=w: self._run_node(w, t2))
+                self._at(
+                    release, K_RUN, lambda t2, w=w: self._run_node(w, t2)
+                )
 
     # ------------------------------------------------------------------
     # accesses and self-invalidation firing
@@ -422,6 +448,7 @@ class TimingSimulator:
             epoch = ctx.fire_epoch.get(block, 0)
             self._at(
                 t + delay,
+                K_SI_FIRE,
                 lambda t2: self._fire_si_now(node, block, epoch, t2),
             )
             return
@@ -475,7 +502,7 @@ class TimingSimulator:
         home = self._cfg.home_of(msg.block)
         arrival = self._network.send_at(src, t)
         engine = self._dirs[home]
-        self._at(arrival, lambda t2: engine.arrive(msg, t2))
+        self._at(arrival, K_DIR_ARRIVE, lambda t2: engine.arrive(msg, t2))
 
     def _send_to_node(
         self,
@@ -491,21 +518,25 @@ class TimingSimulator:
         if mtype is MsgType.DATA_REPLY:
             self._at(
                 arrival,
+                K_REPLY,
                 lambda t2: self._receive_reply(node, block, version, t2),
             )
         elif mtype is MsgType.INVALIDATE:
             self._at(
                 arrival,
+                K_INVALIDATE,
                 lambda t2: self._receive_invalidate(node, block, t2),
             )
         elif mtype is MsgType.FETCH_INVAL:
             self._at(
                 arrival,
+                K_FETCH_INVAL,
                 lambda t2: self._receive_fetch_inval(node, block, t2),
             )
         elif mtype is MsgType.FETCH_DOWNGRADE:
             self._at(
                 arrival,
+                K_FETCH_DOWNGRADE,
                 lambda t2: self._receive_fetch_downgrade(node, block, t2),
             )
         else:  # pragma: no cover
@@ -814,6 +845,7 @@ class TimingSimulator:
         arrival = self._network.send_at(home, t)
         self._at(
             arrival,
+            K_FORWARD,
             lambda t2: self._receive_forward(consumer, block, t2),
         )
 

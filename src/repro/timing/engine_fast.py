@@ -56,28 +56,21 @@ from repro.timing.locks import LockManager
 PolicyFactory = Callable[[int], SelfInvalidationPolicy]
 
 # -- event kinds (calendar records are (time, seq, kind, a, b, c)) -----
-K_RUN = 0  # a=node
-K_SI_FIRE = 1  # a=node, b=bid, c=epoch
-K_DIR_ARRIVE = 2  # a=home, b=msg
-K_DIR_DEQUEUE = 3  # a=home
-K_DIR_COMPLETE = 4  # a=home, b=msg
-K_REPLY = 5  # a=node, b=bid, c=version
-K_INVALIDATE = 6  # a=node, b=bid
-K_FETCH_INVAL = 7  # a=node, b=bid
-K_FETCH_DOWNGRADE = 8  # a=node, b=bid
-K_FORWARD = 9  # a=node, b=bid
-
-EVENT_KIND_NAMES = (
-    "run_node",
-    "si_fire",
-    "dir_arrive",
-    "dir_dequeue",
-    "dir_complete",
-    "reply",
-    "invalidate",
-    "fetch_inval",
-    "fetch_downgrade",
-    "forward",
+# Shared with the reference core so both report identical
+# ``event_counts``; payload slots here are a=node/home, b=bid/msg,
+# c=epoch/version depending on kind.
+from repro.timing.core import (  # noqa: E402  (re-export for back-compat)
+    EVENT_KIND_NAMES,
+    K_DIR_ARRIVE,
+    K_DIR_COMPLETE,
+    K_DIR_DEQUEUE,
+    K_FETCH_DOWNGRADE,
+    K_FETCH_INVAL,
+    K_FORWARD,
+    K_INVALIDATE,
+    K_REPLY,
+    K_RUN,
+    K_SI_FIRE,
 )
 
 # -- message type codes (messages are [mtype, src, bid, dirty, arrival])

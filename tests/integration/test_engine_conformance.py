@@ -106,6 +106,35 @@ class TestSyntheticPatterns:
         )
 
 
+class TestEventCountParity:
+    """Both cores expose ``event_counts`` and — because they inline
+    the same immediate operations — count every dispatched event kind
+    identically. ``repro profile`` and the
+    ``repro_engine_events_total`` metric rely on the mapping meaning
+    the same thing whichever core ran."""
+
+    @pytest.mark.parametrize("si_fire_delay", [0, 150])
+    def test_counts_match_exactly(self, si_fire_delay):
+        programs = build_program_set("em3d", "tiny")
+        spec = PolicySpec(name="ltp")
+        counts = []
+        for core in CORES:
+            engine = core(
+                spec.build,
+                forwarding=True,
+                si_fire_delay=si_fire_delay,
+            )
+            engine.run(programs)
+            counts.append(engine.event_counts)
+        ref, fast = counts
+        assert ref == fast
+        assert ref  # non-empty: the workload scheduled real events
+        assert all(n >= 0 for n in ref.values())
+        from repro.timing.core import EVENT_KIND_NAMES
+
+        assert set(ref) == set(EVENT_KIND_NAMES)
+
+
 class TestSelectionRouting:
     """`make_engine` must honor the process-wide selection, so runner
     traffic actually reaches the chosen core."""

@@ -95,13 +95,13 @@ class _Calendar:
     def __init__(self):
         self.events = []
 
-    def schedule(self, time, fn):
-        self.events.append((time, len(self.events), fn))
+    def schedule(self, time, kind, fn):
+        self.events.append((time, len(self.events), kind, fn))
 
     def run(self):
         while self.events:
             self.events.sort()
-            time, _, fn = self.events.pop(0)
+            time, _, _, fn = self.events.pop(0)
             fn(time)
 
 
